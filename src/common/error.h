@@ -1,0 +1,42 @@
+// Error types (E.14: purpose-designed exception types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace remus {
+
+/// Base class of all remus errors.
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed wire/stable-storage bytes.
+class codec_error : public error {
+ public:
+  using error::error;
+};
+
+/// An API precondition was violated by the caller (e.g. a second operation
+/// invoked while one is outstanding at the same process).
+class precondition_error : public error {
+ public:
+  using error::error;
+};
+
+/// The simulated world or threaded runtime was asked for something it cannot
+/// satisfy (unknown process, scheduling in the past, ...).
+class driver_error : public error {
+ public:
+  using error::error;
+};
+
+/// A blocking operation was cut short because its process crashed (threaded
+/// runtime): the invocation stays pending in the history.
+class operation_aborted : public error {
+ public:
+  using error::error;
+};
+
+}  // namespace remus

@@ -1,0 +1,62 @@
+// Strongly-typed identifiers shared by every remus module.
+//
+// The paper's model (section II) has a static set of n processes; we identify
+// them with small dense integers so they can index vectors. Operation and
+// request identifiers are plain monotonic counters scoped to one process.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace remus {
+
+/// Identity of one process of the static process set (0-based, dense).
+struct process_id {
+  std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr auto operator<=>(const process_id&) const = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != std::numeric_limits<std::uint32_t>::max();
+  }
+};
+
+/// A value that orders invalid() last, handy for "no process yet" defaults.
+inline constexpr process_id no_process{};
+
+/// Identifier of one operation execution (read or write) at one process.
+/// Unique per (process, incarnation-independent counter): the counter is
+/// restored from stable storage on recovery where the algorithm requires it.
+struct op_id {
+  process_id invoker;
+  std::uint64_t seq = 0;
+
+  constexpr auto operator<=>(const op_id&) const = default;
+};
+
+/// Tag distinguishing phases (query/update round) of one operation so that
+/// late acknowledgements from a previous phase are never miscounted.
+struct phase_id {
+  op_id op;
+  std::uint32_t round = 0;
+
+  constexpr auto operator<=>(const phase_id&) const = default;
+};
+
+}  // namespace remus
+
+template <>
+struct std::hash<remus::process_id> {
+  std::size_t operator()(const remus::process_id& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.index);
+  }
+};
+
+template <>
+struct std::hash<remus::op_id> {
+  std::size_t operator()(const remus::op_id& o) const noexcept {
+    return std::hash<std::uint64_t>{}(o.seq * 1000003ULL + o.invoker.index);
+  }
+};

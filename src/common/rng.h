@@ -1,0 +1,48 @@
+// Deterministic pseudo-random source (splitmix64 + xoshiro256**).
+//
+// Every randomized component of the simulation (network delays, drops,
+// fault schedules, property-test workloads) draws from an rng seeded
+// explicitly, so any run is reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace remus {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double next_unit();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Derive an independent child generator (for per-component streams).
+  rng fork();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace remus

@@ -1,0 +1,25 @@
+// Simulated-time primitives. The paper assumes a fictional global clock
+// (section II); the simulator implements it as 64-bit nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace remus {
+
+/// Virtual time in nanoseconds since the start of a run.
+using time_ns = std::int64_t;
+
+constexpr time_ns operator""_us(unsigned long long v) {
+  return static_cast<time_ns>(v) * 1000;
+}
+constexpr time_ns operator""_ms(unsigned long long v) {
+  return static_cast<time_ns>(v) * 1000 * 1000;
+}
+constexpr time_ns operator""_s(unsigned long long v) {
+  return static_cast<time_ns>(v) * 1000 * 1000 * 1000;
+}
+
+constexpr double to_us(time_ns t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_ms(time_ns t) { return static_cast<double>(t) / 1.0e6; }
+
+}  // namespace remus

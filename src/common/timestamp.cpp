@@ -1,0 +1,18 @@
+#include "common/timestamp.h"
+
+namespace remus {
+
+std::string to_string(const tag& t) {
+  std::string out = "[";
+  out += std::to_string(t.sn);
+  if (t.rec != 0) {
+    out += "r";
+    out += std::to_string(t.rec);
+  }
+  out += ",";
+  out += t.writer.valid() ? ("p" + std::to_string(t.writer.index)) : "-";
+  out += "]";
+  return out;
+}
+
+}  // namespace remus

@@ -1,0 +1,60 @@
+// Lexicographic timestamps ("tags") ordering written values.
+//
+// The paper (section I-C, footnote 2) orders written values by a pair
+// [sequence number, writer process id], compared lexicographically; the
+// process id breaks ties between concurrent writers that picked the same
+// sequence number. This is the `[sn, i]` of Figures 4 and 5.
+//
+// We add a third component, `rec`, for the transient-atomic emulation
+// (paper Fig. 5): the algorithm already maintains and logs a per-process
+// recovery counter so that "sequence numbers always increase monotonically"
+// (section IV-C). Embedding that counter in the tag realizes the claimed
+// invariant also in the corner case where the sn-query majority's maximum
+// regresses after a crash (two incarnations of one writer could otherwise
+// emit the same [sn, i] for different values). Crash-stop and persistent
+// emulations keep rec == 0, making the tag exactly the paper's [sn, i].
+// See DESIGN.md ("Substitutions") and tests/lower_bound_test.cpp, which
+// demonstrates the literal variant's corner case.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace remus {
+
+/// Timestamp `[sn, rec, pid]` with lexicographic order. The zero tag
+/// (sn == 0, rec == 0, writer invalid) orders before every real write and
+/// tags the initial value (the paper's ⊥).
+struct tag {
+  std::int64_t sn = 0;
+  std::int64_t rec = 0;
+  process_id writer = no_process;
+
+  friend constexpr auto operator<=>(const tag& a, const tag& b) noexcept {
+    if (auto c = a.sn <=> b.sn; c != 0) return c;
+    if (auto c = a.rec <=> b.rec; c != 0) return c;
+    // `no_process` uses the max index, so a real writer id must order *after*
+    // the initial tag at the same (sn, rec); compare on a rotated key.
+    const auto rank = [](process_id p) -> std::uint64_t {
+      return p.valid() ? p.index + 1ULL : 0ULL;
+    };
+    return rank(a.writer) <=> rank(b.writer);
+  }
+  friend constexpr bool operator==(const tag& a, const tag& b) noexcept {
+    return (a <=> b) == 0;
+  }
+
+  [[nodiscard]] constexpr bool initial() const noexcept {
+    return sn == 0 && rec == 0 && !writer.valid();
+  }
+};
+
+/// The tag of the initial value ⊥.
+inline constexpr tag initial_tag{};
+
+[[nodiscard]] std::string to_string(const tag& t);
+
+}  // namespace remus

@@ -1,0 +1,52 @@
+// Register payloads.
+//
+// The paper's experiments write 4-byte integers (Fig. 6 top) and payloads up
+// to the 64 KB UDP limit (Fig. 6 bottom). A value is an opaque byte string;
+// helpers build values from integers/strings for tests and examples. The
+// empty value stands for the initial ⊥.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remus {
+
+using bytes = std::vector<std::uint8_t>;
+
+/// A register value: opaque bytes. Empty == the initial value ⊥.
+struct value {
+  bytes data;
+
+  friend bool operator==(const value&, const value&) = default;
+
+  [[nodiscard]] bool is_initial() const noexcept { return data.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+};
+
+/// The initial value ⊥ of every register.
+[[nodiscard]] inline value initial_value() { return {}; }
+
+/// Build a 4-byte little-endian integer value (the Fig. 6 top workload).
+[[nodiscard]] value value_of_u32(std::uint32_t x);
+
+/// Build an 8-byte little-endian integer value.
+[[nodiscard]] value value_of_u64(std::uint64_t x);
+
+/// Decode values produced by value_of_u32 / value_of_u64.
+[[nodiscard]] std::optional<std::uint32_t> value_as_u32(const value& v);
+[[nodiscard]] std::optional<std::uint64_t> value_as_u64(const value& v);
+
+/// Build a value from text (examples / KV store payloads).
+[[nodiscard]] value value_of_string(std::string_view s);
+[[nodiscard]] std::string value_as_string(const value& v);
+
+/// Build an arbitrary-size deterministic payload (Fig. 6 bottom workload).
+[[nodiscard]] value value_of_size(std::size_t n, std::uint8_t seed = 0x5a);
+
+/// Short printable rendering for diagnostics ("⊥", "u32:7", "17B:ab12..").
+[[nodiscard]] std::string to_string(const value& v);
+
+}  // namespace remus

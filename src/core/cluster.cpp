@@ -1,0 +1,397 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace remus::core {
+
+namespace {
+constexpr std::uint64_t no_incarnation_check = ~0ULL;
+}  // namespace
+
+cluster::cluster(cluster_config cfg)
+    : cfg_(std::move(cfg)), net_(cfg_.net, rng(cfg_.seed ^ 0x6e657477ULL)),
+      rng_(cfg_.seed) {
+  if (cfg_.n == 0) throw driver_error("cluster: n must be >= 1");
+  if (!cfg_.policy.coherent()) throw driver_error("cluster: incoherent policy");
+  nodes_.reserve(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    auto nd = std::make_unique<node>(cfg_.disk);
+    nd->store = std::make_unique<storage::memory_store>();
+    nd->core = std::make_unique<proto::quorum_core>(cfg_.policy, process_id{i}, cfg_.n,
+                                                    *nd->store, rng_.next_u64());
+    proto::outputs out;
+    nd->core->start(out);
+    if (!out.empty()) throw driver_error("cluster: start() must not emit effects");
+    nodes_.push_back(std::move(nd));
+  }
+}
+
+cluster::node& cluster::node_at(process_id p) {
+  if (!p.valid() || p.index >= nodes_.size()) throw driver_error("cluster: bad process id");
+  return *nodes_[p.index];
+}
+
+const cluster::node& cluster::node_at(process_id p) const {
+  if (!p.valid() || p.index >= nodes_.size()) throw driver_error("cluster: bad process id");
+  return *nodes_[p.index];
+}
+
+cluster::context& cluster::ctx_of(node& nd, proto::exec_context c) {
+  return c == proto::exec_context::client ? nd.client_ctx : nd.listener_ctx;
+}
+
+bool cluster::is_ready(process_id p) const {
+  const node& nd = node_at(p);
+  return nd.up && nd.core->ready();
+}
+
+proto::quorum_core& cluster::core_of(process_id p) { return *node_at(p).core; }
+
+storage::memory_store& cluster::store_of(process_id p) { return *node_at(p).store; }
+
+std::uint64_t cluster::durable_stores(process_id p) const {
+  return node_at(p).store->store_count();
+}
+
+// ---- Workload scheduling ----------------------------------------------------
+
+cluster::op_handle cluster::submit_write(process_id p, value v, time_ns at) {
+  (void)node_at(p);  // validate
+  op_result r;
+  r.submitted = true;
+  r.is_read = false;
+  r.p = p;
+  r.v = v;
+  results_.push_back(std::move(r));
+  const op_handle h = results_.size() - 1;
+  queue_.schedule_at(std::max(at, now()), [this, p, h] {
+    node& nd = node_at(p);
+    pending_invocation inv;
+    inv.handle = h;
+    inv.is_read = false;
+    inv.v = results_[h].v;
+    nd.op_queue.push_back(std::move(inv));
+    dispatch_next_op(p);
+  });
+  return h;
+}
+
+cluster::op_handle cluster::submit_read(process_id p, time_ns at) {
+  (void)node_at(p);
+  op_result r;
+  r.submitted = true;
+  r.is_read = true;
+  r.p = p;
+  results_.push_back(std::move(r));
+  const op_handle h = results_.size() - 1;
+  queue_.schedule_at(std::max(at, now()), [this, p, h] {
+    node& nd = node_at(p);
+    pending_invocation inv;
+    inv.handle = h;
+    inv.is_read = true;
+    nd.op_queue.push_back(std::move(inv));
+    dispatch_next_op(p);
+  });
+  return h;
+}
+
+void cluster::submit_crash(process_id p, time_ns at) {
+  (void)node_at(p);
+  queue_.schedule_at(std::max(at, now()), [this, p] { do_crash(p); });
+}
+
+void cluster::submit_recover(process_id p, time_ns at) {
+  if (cfg_.policy.crash_stop) {
+    throw driver_error("cluster: recovery is impossible in the crash-stop model");
+  }
+  (void)node_at(p);
+  queue_.schedule_at(std::max(at, now()), [this, p] { do_recover(p); });
+}
+
+void cluster::apply(const sim::fault_plan& plan, time_ns offset) {
+  for (const auto& e : plan.events) {
+    if (e.kind == sim::fault_kind::crash) {
+      submit_crash(e.target, e.at + offset);
+    } else {
+      submit_recover(e.target, e.at + offset);
+    }
+  }
+}
+
+// ---- Execution ---------------------------------------------------------------
+
+bool cluster::run_until_idle(std::uint64_t max_events) {
+  queue_.run(max_events);
+  return queue_.empty();
+}
+
+void cluster::run_for(time_ns d) { queue_.run_until(now() + d); }
+
+value cluster::read(process_id p) {
+  const op_handle h = submit_read(p, now());
+  while (!results_[h].completed && queue_.step()) {
+  }
+  if (!results_[h].completed) throw driver_error("cluster: read did not complete");
+  return results_[h].v;
+}
+
+void cluster::write(process_id p, value v) {
+  const op_handle h = submit_write(p, std::move(v), now());
+  while (!results_[h].completed && queue_.step()) {
+  }
+  if (!results_[h].completed) throw driver_error("cluster: write did not complete");
+}
+
+const cluster::op_result& cluster::result(op_handle h) const {
+  if (h >= results_.size()) throw driver_error("cluster: bad op handle");
+  return results_[h];
+}
+
+std::vector<history::tagged_op> cluster::tagged_operations() const {
+  std::vector<history::tagged_op> out;
+  for (const op_result& r : results_) {
+    if (!r.completed) continue;
+    history::tagged_op op;
+    op.is_read = r.is_read;
+    op.p = r.p;
+    op.applied = r.applied;
+    op.val = r.v;
+    op.invoked_at = r.invoked_at;
+    op.replied_at = r.completed_at;
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+metrics::op_collector cluster::collect() const {
+  metrics::op_collector col;
+  for (const op_result& r : results_) {
+    if (r.completed) col.add(r.sample);
+  }
+  return col;
+}
+
+// ---- Node mechanics ----------------------------------------------------------
+
+void cluster::dispatch_next_op(process_id p) {
+  node& nd = node_at(p);
+  if (!nd.up || !nd.core->is_up() || !nd.core->ready() || !nd.core->idle()) return;
+  if (nd.active_op || nd.op_queue.empty()) return;
+  if (nd.client_ctx.busy_until > now()) {
+    const std::uint64_t inc = nd.incarnation;
+    queue_.schedule_at(nd.client_ctx.busy_until, [this, p, inc] {
+      if (node_at(p).incarnation == inc) dispatch_next_op(p);
+    });
+    return;
+  }
+
+  pending_invocation inv = std::move(nd.op_queue.front());
+  nd.op_queue.pop_front();
+  nd.client_ctx.busy_until = now() + cfg_.process_step_cost;
+  nd.active_op = inv.handle;
+  nd.active_invoked_at = now();
+
+  proto::outputs out;
+  if (inv.is_read) {
+    recorder_.invoke_read(p, now());
+    nd.core->invoke_read(out);
+  } else {
+    recorder_.invoke_write(p, inv.v, now());
+    nd.core->invoke_write(inv.v, out);
+  }
+  // Register attribution for this op under its (origin, epoch, seq) identity.
+  const attr_key key{p.index, nd.core->current_epoch(), nd.core->current_op_seq()};
+  active_handles_[key] = inv.handle;
+  attribution_[key];  // ensure entry
+  execute_effects(p, out);
+}
+
+void cluster::deliver_message(process_id p, proto::message m, std::uint64_t) {
+  node& nd = node_at(p);
+  if (!nd.up || !nd.core->is_up()) return;  // dropped at a dead host
+  const bool client_side = m.kind == proto::msg_kind::sn_ack ||
+                           m.kind == proto::msg_kind::read_ack ||
+                           m.kind == proto::msg_kind::write_ack;
+  context& ctx = client_side ? nd.client_ctx : nd.listener_ctx;
+  if (ctx.busy_until > now()) {
+    // The owning thread is busy (e.g. blocked on a synchronous store);
+    // the message waits in the socket buffer.
+    queue_.schedule_at(ctx.busy_until, [this, p, m = std::move(m)] {
+      deliver_message(p, m, no_incarnation_check);
+    });
+    return;
+  }
+  ctx.busy_until = now() + cfg_.process_step_cost;
+  proto::outputs out;
+  nd.core->on_message(m, out);
+  execute_effects(p, out);
+}
+
+void cluster::deliver_log_done(process_id p, std::uint64_t token, std::string key,
+                               bytes record, std::uint64_t incarnation) {
+  node& nd = node_at(p);
+  if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) {
+    // The process crashed while the store was in flight: under the
+    // conservative durability model the record never hit the platter.
+    return;
+  }
+  nd.store->store(key, record);  // durability point
+  proto::outputs out;
+  nd.core->on_log_done(token, out);
+  execute_effects(p, out);
+}
+
+void cluster::deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation) {
+  node& nd = node_at(p);
+  if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) return;
+  context& ctx = nd.client_ctx;
+  if (ctx.busy_until > now()) {
+    queue_.schedule_at(ctx.busy_until,
+                       [this, p, token, incarnation] { deliver_timer(p, token, incarnation); });
+    return;
+  }
+  ctx.busy_until = now() + cfg_.process_step_cost;
+  proto::outputs out;
+  nd.core->on_timer(token, out);
+  execute_effects(p, out);
+}
+
+void cluster::route_message(process_id from, const std::vector<process_id>& tos,
+                            const proto::message& m) {
+  const auto deliveries =
+      net_.route(now(), from, tos, proto::wire_size(m), static_cast<std::uint8_t>(m.kind),
+                 m.op_seq, m.round);
+  for (const auto& d : deliveries) {
+    queue_.schedule_at(d.deliver_at, [this, to = d.to, m] {
+      deliver_message(to, m, no_incarnation_check);
+    });
+  }
+}
+
+void cluster::execute_effects(process_id p, proto::outputs& out) {
+  node& nd = node_at(p);
+
+  for (proto::log_request& lr : out.logs) {
+    const time_ns done_at = nd.disk.issue(now(), lr.record.size() + lr.key.size());
+    ctx_of(nd, lr.ctx).busy_until = done_at;  // synchronous store blocks its thread
+    if (lr.op_seq != 0) {
+      attribution_[attr_key{lr.origin.index, lr.epoch, lr.op_seq}].logs += 1;
+    } else {
+      recovery_stores_ += 1;
+    }
+    queue_.schedule_at(done_at, [this, p, token = lr.token, key = lr.key,
+                                 record = std::move(lr.record), inc = nd.incarnation] {
+      deliver_log_done(p, token, key, record, inc);
+    });
+  }
+
+  std::vector<process_id> everyone;
+  for (const proto::broadcast_request& b : out.broadcasts) {
+    if (everyone.empty()) {
+      everyone.reserve(cfg_.n);
+      for (std::uint32_t i = 0; i < cfg_.n; ++i) everyone.push_back(process_id{i});
+    }
+    const bool is_ack = b.msg.kind == proto::msg_kind::sn_ack ||
+                        b.msg.kind == proto::msg_kind::read_ack ||
+                        b.msg.kind == proto::msg_kind::write_ack;
+    const process_id origin = is_ack ? no_process : b.msg.from;
+    if (origin.valid() && b.msg.op_seq != 0) {
+      attribution_[attr_key{origin.index, b.msg.epoch, b.msg.op_seq}].messages += cfg_.n;
+    }
+    route_message(p, everyone, b.msg);
+  }
+
+  for (const proto::send_request& s : out.sends) {
+    const bool is_ack = s.msg.kind == proto::msg_kind::sn_ack ||
+                        s.msg.kind == proto::msg_kind::read_ack ||
+                        s.msg.kind == proto::msg_kind::write_ack;
+    const process_id origin = is_ack ? s.to : s.msg.from;
+    if (s.msg.op_seq != 0) {
+      attribution_[attr_key{origin.index, s.msg.epoch, s.msg.op_seq}].messages += 1;
+    }
+    route_message(p, {s.to}, s.msg);
+  }
+
+  for (const proto::timer_request& t : out.timers) {
+    queue_.schedule_at(now() + t.delay, [this, p, token = t.token, inc = nd.incarnation] {
+      deliver_timer(p, token, inc);
+    });
+  }
+
+  if (out.completion) finish_active_op(p, *out.completion);
+  if (out.recovery_complete) {
+    nd.recover_scheduled = false;
+    dispatch_next_op(p);
+  }
+}
+
+void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
+  node& nd = node_at(p);
+  const attr_key key{p.index, nd.core->current_epoch(), oc.op_seq};
+  const auto hit = active_handles_.find(key);
+  if (hit == active_handles_.end()) return;  // recovery round, not a client op
+  const op_handle h = hit->second;
+  active_handles_.erase(hit);
+
+  op_result& r = results_[h];
+  r.completed = true;
+  r.v = oc.result;
+  r.applied = oc.applied;
+  r.invoked_at = nd.active_invoked_at;
+  r.completed_at = now();
+  r.sample.is_read = oc.is_read;
+  r.sample.latency = now() - nd.active_invoked_at;
+  r.sample.causal_logs = oc.causal_logs;
+  r.sample.round_trips = oc.round_trips;
+  const auto& attr = attribution_[key];
+  r.sample.total_logs = attr.logs;
+  r.sample.messages = attr.messages;
+
+  if (oc.is_read) {
+    recorder_.reply_read(p, oc.result, now());
+  } else {
+    recorder_.reply_write(p, now());
+  }
+  nd.active_op.reset();
+  dispatch_next_op(p);
+}
+
+void cluster::do_crash(process_id p) {
+  node& nd = node_at(p);
+  if (!nd.up) return;
+  nd.up = false;
+  nd.incarnation += 1;
+  nd.core->crash();
+  nd.client_ctx.busy_until = 0;
+  nd.listener_ctx.busy_until = 0;
+  nd.disk.reset(now());
+  recorder_.crash(p, now());
+  nd.active_op.reset();
+  for (const pending_invocation& inv : nd.op_queue) {
+    results_[inv.handle].dropped = true;  // never invoked; client vanished
+  }
+  nd.op_queue.clear();
+}
+
+void cluster::do_recover(process_id p) {
+  node& nd = node_at(p);
+  if (nd.up) return;
+  nd.up = true;
+  recorder_.recover(p, now());
+  nd.client_ctx.busy_until = now() + cfg_.recovery_read_latency;
+  nd.recover_scheduled = true;
+  const std::uint64_t inc = nd.incarnation;
+  // retrieve() of the stable records costs one synchronous disk read.
+  queue_.schedule_at(now() + cfg_.recovery_read_latency, [this, p, inc] {
+    node& nd2 = node_at(p);
+    if (nd2.incarnation != inc || !nd2.up) return;  // crashed again meanwhile
+    proto::outputs out;
+    nd2.core->recover(rng_.next_u64(), out);
+    execute_effects(p, out);
+  });
+}
+
+}  // namespace remus::core

@@ -1,0 +1,165 @@
+// cluster: the simulated emulation driver — the library's main entry point.
+//
+// A cluster wires n protocol cores (one per process) to the discrete-event
+// world: the fair-lossy network model, one disk model per process, the
+// two-execution-context blocking semantics of the paper's implementation
+// (client thread + listener thread, section V-A), crash/recovery injection,
+// history recording, and per-operation metric attribution.
+//
+// Typical use:
+//
+//   core::cluster_config cfg;
+//   cfg.n = 5;
+//   cfg.policy = proto::persistent_policy();
+//   core::cluster c(cfg);
+//   auto w = c.submit_write(process_id{0}, value_of_u32(7), 0);
+//   auto r = c.submit_read(process_id{1}, 2_ms);
+//   c.run_until_idle();
+//   assert(c.result(r).completed && value_as_u32(c.result(r).v) == 7);
+//   auto verdict = history::check_persistent_atomicity(c.events());
+//
+// Determinism: every run is a pure function of (cluster_config, submitted
+// workload); random delays/epochs derive from cfg.seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "history/recorder.h"
+#include "history/tag_order.h"
+#include "metrics/op_metrics.h"
+#include "proto/quorum_core.h"
+#include "sim/disk_model.h"
+#include "sim/event_queue.h"
+#include "sim/fault_plan.h"
+#include "sim/network_model.h"
+#include "storage/memory_store.h"
+
+namespace remus::core {
+
+class cluster {
+ public:
+  using op_handle = std::uint64_t;
+
+  explicit cluster(cluster_config cfg);
+
+  // ---- Workload scheduling (virtual times, >= now()) ----
+  op_handle submit_write(process_id p, value v, time_ns at);
+  op_handle submit_read(process_id p, time_ns at);
+  void submit_crash(process_id p, time_ns at);
+  void submit_recover(process_id p, time_ns at);
+  void apply(const sim::fault_plan& plan, time_ns offset = 0);
+
+  // ---- Execution ----
+  /// Runs until no events remain. Returns false if `max_events` elapsed
+  /// first (e.g. a majority is down forever and retransmission never ends).
+  bool run_until_idle(std::uint64_t max_events = 50'000'000);
+  /// Runs events with timestamps <= now()+d, then advances the clock.
+  void run_for(time_ns d);
+
+  // ---- Synchronous convenience (submit now + run until that op is done) ----
+  value read(process_id p);
+  void write(process_id p, value v);
+
+  // ---- Results & introspection ----
+  struct op_result {
+    bool submitted = false;
+    bool completed = false;
+    bool dropped = false;  // queued behind a crash, never invoked
+    bool is_read = false;
+    process_id p;
+    value v;      // read: returned value; write: argument
+    tag applied;  // tag returned/written
+    time_ns invoked_at = 0;
+    time_ns completed_at = 0;
+    metrics::op_sample sample;
+  };
+  [[nodiscard]] const op_result& result(op_handle h) const;
+  [[nodiscard]] history::history_log events() const { return recorder_.events(); }
+  /// Completed operations with their applied tags, for Lemma-1 style
+  /// tag-order verification (history::check_tag_order).
+  [[nodiscard]] std::vector<history::tagged_op> tagged_operations() const;
+  [[nodiscard]] metrics::op_collector collect() const;
+  [[nodiscard]] time_ns now() const { return queue_.now(); }
+  [[nodiscard]] std::uint32_t size() const { return cfg_.n; }
+  [[nodiscard]] const cluster_config& config() const { return cfg_; }
+  [[nodiscard]] bool is_up(process_id p) const { return node_at(p).up; }
+  [[nodiscard]] bool is_ready(process_id p) const;
+  [[nodiscard]] proto::quorum_core& core_of(process_id p);
+  [[nodiscard]] storage::memory_store& store_of(process_id p);
+  [[nodiscard]] sim::network_model& network() { return net_; }
+  /// Durable stable-storage writes per process (metrics).
+  [[nodiscard]] std::uint64_t durable_stores(process_id p) const;
+  /// Stores performed by recovery procedures (not attributed to any op).
+  [[nodiscard]] std::uint64_t recovery_stores() const { return recovery_stores_; }
+
+ private:
+  struct context {
+    time_ns busy_until = 0;
+  };
+
+  struct pending_invocation {
+    op_handle handle = 0;
+    bool is_read = false;
+    value v;
+  };
+
+  struct node {
+    std::unique_ptr<storage::memory_store> store;
+    std::unique_ptr<proto::quorum_core> core;
+    sim::disk_model disk;
+    context client_ctx;
+    context listener_ctx;
+    bool up = true;
+    bool recover_scheduled = false;
+    std::uint64_t incarnation = 0;
+    std::deque<pending_invocation> op_queue;
+    std::optional<op_handle> active_op;
+    time_ns active_invoked_at = 0;
+
+    explicit node(sim::disk_config dc) : disk(dc) {}
+  };
+
+  struct op_attribution {
+    std::uint32_t messages = 0;
+    std::uint32_t logs = 0;
+  };
+
+  [[nodiscard]] node& node_at(process_id p);
+  [[nodiscard]] const node& node_at(process_id p) const;
+  context& ctx_of(node& nd, proto::exec_context c);
+
+  void dispatch_next_op(process_id p);
+  void deliver_message(process_id p, proto::message m, std::uint64_t incarnation);
+  void deliver_log_done(process_id p, std::uint64_t token, std::string key,
+                        bytes record, std::uint64_t incarnation);
+  void deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation);
+  void execute_effects(process_id p, proto::outputs& out);
+  void route_message(process_id from, const std::vector<process_id>& tos,
+                     const proto::message& m);
+  void do_crash(process_id p);
+  void do_recover(process_id p);
+  void finish_active_op(process_id p, const proto::op_outcome& oc);
+
+  /// Identity of one operation across the whole run for metric attribution:
+  /// (invoker, incarnation epoch, per-process op counter).
+  using attr_key = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;
+
+  cluster_config cfg_;
+  sim::event_queue queue_;
+  sim::network_model net_;
+  rng rng_;
+  std::vector<std::unique_ptr<node>> nodes_;
+  history::recorder recorder_;
+  std::vector<op_result> results_;
+  std::map<attr_key, op_attribution> attribution_;
+  std::map<attr_key, op_handle> active_handles_;
+  std::uint64_t recovery_stores_ = 0;
+};
+
+}  // namespace remus::core

@@ -1,0 +1,32 @@
+// Cluster configuration: one struct describing a whole emulation setup —
+// process count, protocol policy, and the calibrated cost model.
+//
+// Default costs follow the paper's measurements (section I-A, V):
+//   * one-way message transit ~0.1 ms on their 100 Mbps LAN,
+//   * logging a single byte ~2x a message transit (~0.2 ms) on IDE disks,
+//   * local computation "costs almost nothing" (a few microseconds).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "proto/policy.h"
+#include "sim/disk_model.h"
+#include "sim/network_model.h"
+
+namespace remus::core {
+
+struct cluster_config {
+  std::uint32_t n = 5;
+  proto::protocol_policy policy = proto::persistent_policy();
+  sim::network_config net{};
+  sim::disk_config disk{};
+  /// CPU cost charged per delivered input (message, timer, log completion).
+  time_ns process_step_cost = 5 * 1000;
+  /// Synchronous retrieve() cost charged once at the start of recovery.
+  time_ns recovery_read_latency = 400 * 1000;
+  /// Seed for every random stream (network jitter, epochs).
+  std::uint64_t seed = 1;
+};
+
+}  // namespace remus::core

@@ -1,0 +1,55 @@
+// Atomicity checkers for the crash-recovery model (paper section III).
+//
+// check_atomicity(h, criterion::persistent) decides whether the history can
+// be completed into a legal sequential history preserving precedence
+// (persistent atomicity == linearizability surviving crashes);
+// criterion::transient uses weak completion (pending write replies may slide
+// to just before the process's next completed write reply).
+//
+// Method: pending reads are dropped (always sound: they only constrain).
+// Pending writes are included iff some read returned their value (dropping
+// an unread write is always sound, and a read-from write cannot be absent).
+// Each included operation gets a real-time interval; with unique write
+// values the history is atomic iff the write-order constraint graph is
+// acyclic:
+//   P1: w  -> w'   if w's interval precedes w''s,
+//   C0: violation  if a read wholly precedes the write it returns,
+//   C1: w' -> w_r  if write w' != w_r wholly precedes read r of w_r,
+//   C2: w_r -> w'  if read r of w_r wholly precedes write w',
+//   C3: w1 -> w2   if read r1 of w1 wholly precedes read r2 of w2 != w1.
+// (A topological order of the writes, with each read placed directly after
+// its write, is then a legal sequential history; each edge is individually
+// necessary. This is the classic polynomial register-linearizability test
+// for distinct values.)
+//
+// The checker REQUIRES unique write values (no two writes of equal bytes, no
+// write of the empty initial value); workloads in this repository guarantee
+// that by construction, and the checker reports a usage error otherwise.
+#pragma once
+
+#include <string>
+
+#include "history/event.h"
+#include "history/operations.h"
+
+namespace remus::history {
+
+struct check_result {
+  bool ok = true;
+  /// Human-readable account of the violation (or the usage error).
+  std::string explanation;
+  /// True when the input itself was unusable (ill-formed, duplicate values).
+  bool usage_error = false;
+};
+
+[[nodiscard]] check_result check_atomicity(const history_log& h, criterion c);
+
+/// Convenience wrappers.
+[[nodiscard]] inline check_result check_persistent_atomicity(const history_log& h) {
+  return check_atomicity(h, criterion::persistent);
+}
+[[nodiscard]] inline check_result check_transient_atomicity(const history_log& h) {
+  return check_atomicity(h, criterion::transient);
+}
+
+}  // namespace remus::history

@@ -1,0 +1,19 @@
+// Exact exponential-time atomicity checker, used in tests to cross-validate
+// the polynomial constraint-graph checker on small randomized histories.
+//
+// Enumerates inclusion choices for pending writes and searches for a legal
+// sequential arrangement with memoized DFS over completed-op subsets.
+// Practical up to ~20 operations.
+#pragma once
+
+#include "history/atomicity.h"
+#include "history/event.h"
+#include "history/operations.h"
+
+namespace remus::history {
+
+/// Same verdict semantics as check_atomicity (which see); intended for
+/// histories with at most ~20 operations.
+[[nodiscard]] check_result check_atomicity_brute_force(const history_log& h, criterion c);
+
+}  // namespace remus::history

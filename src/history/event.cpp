@@ -1,0 +1,38 @@
+#include "history/event.h"
+
+namespace remus::history {
+
+std::string to_string(event_kind k) {
+  switch (k) {
+    case event_kind::invoke_read: return "inv R";
+    case event_kind::invoke_write: return "inv W";
+    case event_kind::reply_read: return "ret R";
+    case event_kind::reply_write: return "ret W";
+    case event_kind::crash: return "crash";
+    case event_kind::recover: return "recover";
+  }
+  return "?";
+}
+
+std::string to_string(const event& e) {
+  std::string out = "p" + std::to_string(e.p.index) + " " + to_string(e.kind);
+  switch (e.kind) {
+    case event_kind::invoke_write:
+    case event_kind::reply_read:
+      out += "(" + remus::to_string(e.v) + ")";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::string to_string(const history_log& h) {
+  std::string out;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out += std::to_string(i) + ": " + to_string(h[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace remus::history

@@ -1,0 +1,45 @@
+// Histories: sequences of invocation, reply, crash and recovery events
+// (paper section III-A). The recorder emits events in real-time order; the
+// position in the vector is the global order the checkers reason about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/value.h"
+
+namespace remus::history {
+
+enum class event_kind : std::uint8_t {
+  invoke_read,
+  invoke_write,  // v = argument
+  reply_read,    // v = returned value
+  reply_write,
+  crash,
+  recover,
+};
+
+struct event {
+  event_kind kind = event_kind::invoke_read;
+  process_id p;
+  value v;
+  time_ns at = 0;
+
+  [[nodiscard]] bool is_invoke() const {
+    return kind == event_kind::invoke_read || kind == event_kind::invoke_write;
+  }
+  [[nodiscard]] bool is_reply() const {
+    return kind == event_kind::reply_read || kind == event_kind::reply_write;
+  }
+};
+
+using history_log = std::vector<event>;
+
+[[nodiscard]] std::string to_string(event_kind k);
+[[nodiscard]] std::string to_string(const event& e);
+[[nodiscard]] std::string to_string(const history_log& h);
+
+}  // namespace remus::history

@@ -1,0 +1,89 @@
+#include "history/operations.h"
+
+namespace remus::history {
+
+std::string op_record::describe() const {
+  std::string out = "p" + std::to_string(p.index);
+  if (is_read) {
+    out += " R->" + (returned ? remus::to_string(*returned) : std::string("pending"));
+  } else {
+    out += " W(" + remus::to_string(written) + ")";
+    if (pending()) out += " pending";
+  }
+  out += " @[" + std::to_string(invoke_index) + ",";
+  out += reply_index ? std::to_string(*reply_index) : std::string("-");
+  out += "]";
+  return out;
+}
+
+std::vector<op_record> extract_operations(const history_log& h, criterion c) {
+  std::vector<op_record> ops;
+  // Per process, the index of that process's op currently in flight.
+  std::vector<std::optional<std::size_t>> open(64);
+  auto slot = [&](process_id p) -> std::optional<std::size_t>& {
+    if (p.index >= open.size()) open.resize(p.index + 1);
+    return open[p.index];
+  };
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const event& e = h[i];
+    switch (e.kind) {
+      case event_kind::invoke_read:
+      case event_kind::invoke_write: {
+        op_record op;
+        op.p = e.p;
+        op.is_read = (e.kind == event_kind::invoke_read);
+        if (!op.is_read) op.written = e.v;
+        op.invoke_index = i;
+        op.start2 = static_cast<pos2>(2 * i);
+        op.end2 = pos2_infinity;  // refined below
+        slot(e.p) = ops.size();
+        ops.push_back(std::move(op));
+        break;
+      }
+      case event_kind::reply_read:
+      case event_kind::reply_write: {
+        auto& s = slot(e.p);
+        op_record& op = ops.at(*s);
+        op.reply_index = i;
+        op.end2 = static_cast<pos2>(2 * i);
+        if (op.is_read) op.returned = e.v;
+        s.reset();
+        break;
+      }
+      case event_kind::crash:
+        // A pending op stays pending; its deadline is computed below.
+        slot(e.p).reset();
+        break;
+      case event_kind::recover:
+        break;
+    }
+  }
+
+  // Deadlines for pending operations.
+  for (op_record& op : ops) {
+    if (!op.pending()) continue;
+    pos2 deadline = pos2_infinity;
+    if (c == criterion::persistent) {
+      // Reply must appear before the process's next invocation.
+      for (std::size_t j = op.invoke_index + 1; j < h.size(); ++j) {
+        if (h[j].p == op.p && h[j].is_invoke()) {
+          deadline = static_cast<pos2>(2 * j) - 1;
+          break;
+        }
+      }
+    } else {
+      // Reply must appear before the process's next completed write reply.
+      for (std::size_t j = op.invoke_index + 1; j < h.size(); ++j) {
+        if (h[j].p == op.p && h[j].kind == event_kind::reply_write) {
+          deadline = static_cast<pos2>(2 * j) - 1;
+          break;
+        }
+      }
+    }
+    op.end2 = deadline;
+  }
+  return ops;
+}
+
+}  // namespace remus::history

@@ -1,0 +1,50 @@
+// Operation extraction: turns an event history into operation records with
+// real-time intervals, identifying pending operations (invocations cut short
+// by a crash or by the end of the run) and, per consistency criterion, the
+// deadline before which a pending write's reply may be placed when the
+// history is completed (persistent atomicity, paper section III-B) or weakly
+// completed (transient atomicity, section III-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/event.h"
+
+namespace remus::history {
+
+/// Positions are rationals encoded as doubled indices so that a pending
+/// reply "strictly before event k" can sit at 2k-1, between events k-1 and k.
+using pos2 = std::int64_t;
+inline constexpr pos2 pos2_infinity = INT64_MAX;
+
+struct op_record {
+  process_id p;
+  bool is_read = false;
+  value written;            // writes: argument
+  std::optional<value> returned;  // completed reads: result
+  std::size_t invoke_index = 0;   // position of the invocation event
+  std::optional<std::size_t> reply_index;  // absent = pending
+  pos2 start2 = 0;          // 2 * invoke_index
+  pos2 end2 = 0;            // completed: 2 * reply_index; pending: deadline
+
+  [[nodiscard]] bool pending() const { return !reply_index.has_value(); }
+  [[nodiscard]] std::string describe() const;
+};
+
+enum class criterion : std::uint8_t {
+  /// Pending replies must land before the process's next invocation
+  /// (completion; persistent atomicity).
+  persistent,
+  /// Pending write replies may land as late as just before the process's
+  /// next completed write reply (weak completion; transient atomicity).
+  transient,
+};
+
+/// Extracts all operations with intervals computed for `c`. The input must
+/// be well-formed (call check_well_formed first).
+[[nodiscard]] std::vector<op_record> extract_operations(const history_log& h, criterion c);
+
+}  // namespace remus::history

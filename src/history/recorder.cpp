@@ -1,0 +1,51 @@
+#include "history/recorder.h"
+
+namespace remus::history {
+
+void recorder::push(event e) {
+  std::lock_guard lk(mu_);
+  // Guard monotonicity: concurrent reporters may race by a tick.
+  if (!log_.empty() && e.at < log_.back().at) e.at = log_.back().at;
+  log_.push_back(std::move(e));
+}
+
+void recorder::invoke_read(process_id p, time_ns at) {
+  push(event{event_kind::invoke_read, p, {}, at});
+}
+
+void recorder::invoke_write(process_id p, const value& v, time_ns at) {
+  push(event{event_kind::invoke_write, p, v, at});
+}
+
+void recorder::reply_read(process_id p, const value& v, time_ns at) {
+  push(event{event_kind::reply_read, p, v, at});
+}
+
+void recorder::reply_write(process_id p, time_ns at) {
+  push(event{event_kind::reply_write, p, {}, at});
+}
+
+void recorder::crash(process_id p, time_ns at) {
+  push(event{event_kind::crash, p, {}, at});
+}
+
+void recorder::recover(process_id p, time_ns at) {
+  push(event{event_kind::recover, p, {}, at});
+}
+
+history_log recorder::events() const {
+  std::lock_guard lk(mu_);
+  return log_;
+}
+
+std::size_t recorder::size() const {
+  std::lock_guard lk(mu_);
+  return log_.size();
+}
+
+void recorder::clear() {
+  std::lock_guard lk(mu_);
+  log_.clear();
+}
+
+}  // namespace remus::history

@@ -1,0 +1,33 @@
+// History recorder: drivers report invocation/reply/crash/recovery events
+// as they happen; the recorder appends them in real-time order. Thread-safe
+// (the threaded runtime reports from many threads; the simulator from one).
+#pragma once
+
+#include <mutex>
+
+#include "history/event.h"
+
+namespace remus::history {
+
+class recorder {
+ public:
+  void invoke_read(process_id p, time_ns at);
+  void invoke_write(process_id p, const value& v, time_ns at);
+  void reply_read(process_id p, const value& v, time_ns at);
+  void reply_write(process_id p, time_ns at);
+  void crash(process_id p, time_ns at);
+  void recover(process_id p, time_ns at);
+
+  /// Snapshot of the history so far.
+  [[nodiscard]] history_log events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  void push(event e);
+
+  mutable std::mutex mu_;
+  history_log log_;
+};
+
+}  // namespace remus::history

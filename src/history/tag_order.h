@@ -1,0 +1,47 @@
+// Tag-order verification: the conditions of the paper's Lemma 1/2/3
+// (section IV-B) checked directly on the tags operations applied, as the
+// correctness proof does. Complements the black-box atomicity checkers:
+// this one sees protocol internals (the tags), is linear-time, and
+// pinpoints which lemma condition broke.
+//
+// Conditions, for completed operations only:
+//   L1(i):  op1 precedes op2, op2 a read   =>  tag(op1) <= tag(op2)
+//   L1(ii): op1 precedes op2, op2 a write  =>  tag(op1) <  tag(op2)
+//   L2:     two completed writes never share a tag
+//   L3:     a read's tag is the tag of some write (or the initial tag), and
+//           its value is that write's value
+//
+// L1 with a read on the left-hand side relies on the read's write-back
+// round anchoring its tag at a majority; pass check_read_monotonicity =
+// false for regular/safe-register policies, whose single-round reads
+// intentionally forgo that guarantee.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace remus::history {
+
+struct tagged_op {
+  bool is_read = false;
+  process_id p;
+  tag applied;
+  value val;  // write: argument; read: returned value
+  time_ns invoked_at = 0;
+  time_ns replied_at = 0;
+};
+
+struct tag_order_result {
+  bool ok = true;
+  std::string explanation;
+};
+
+[[nodiscard]] tag_order_result check_tag_order(const std::vector<tagged_op>& ops,
+                                               bool check_read_monotonicity = true);
+
+}  // namespace remus::history

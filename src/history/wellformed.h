@@ -1,0 +1,20 @@
+// Well-formedness of histories (paper section III-A): per process, the local
+// history must alternate invocation -> (matching reply | crash), a crash can
+// only be followed by a recovery, and an invocation may only follow a reply,
+// a recovery, or the start of the history.
+#pragma once
+
+#include <string>
+
+#include "history/event.h"
+
+namespace remus::history {
+
+struct wellformed_result {
+  bool ok = true;
+  std::string explanation;  // empty when ok
+};
+
+[[nodiscard]] wellformed_result check_well_formed(const history_log& h);
+
+}  // namespace remus::history

@@ -1,0 +1,34 @@
+#include "metrics/op_metrics.h"
+
+namespace remus::metrics {
+
+void op_collector::add(const op_sample& s) {
+  if (s.is_read) {
+    read_lat_.add(to_us(s.latency));
+    read_clogs_.add(s.causal_logs);
+    read_tlogs_.add(s.total_logs);
+    read_msgs_.add(s.messages);
+    read_rts_.add(s.round_trips);
+  } else {
+    write_lat_.add(to_us(s.latency));
+    write_clogs_.add(s.causal_logs);
+    write_tlogs_.add(s.total_logs);
+    write_msgs_.add(s.messages);
+    write_rts_.add(s.round_trips);
+  }
+}
+
+std::string op_collector::describe() const {
+  std::string out;
+  if (write_lat_.count() > 0) {
+    out += "writes: " + write_lat_.describe("us") +
+           " causal-logs(mean)=" + std::to_string(write_clogs_.mean()) + "\n";
+  }
+  if (read_lat_.count() > 0) {
+    out += "reads:  " + read_lat_.describe("us") +
+           " causal-logs(mean)=" + std::to_string(read_clogs_.mean()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace remus::metrics

@@ -1,0 +1,53 @@
+// Per-operation metrics: the paper's three cost dimensions (section I-B):
+// time (latency), messages/communication steps, and causal logs. The sim
+// driver feeds one op_sample per completed operation; collectors aggregate
+// by operation type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "metrics/stats.h"
+
+namespace remus::metrics {
+
+struct op_sample {
+  bool is_read = false;
+  time_ns latency = 0;
+  /// Causal-log depth on the completion path (paper's log-complexity).
+  std::uint32_t causal_logs = 0;
+  /// Total stable-storage writes attributable to the op across all processes.
+  std::uint32_t total_logs = 0;
+  /// Round trips used by the invoking client (communication steps = 2x).
+  std::uint32_t round_trips = 0;
+  /// Messages sent on behalf of this op across all processes.
+  std::uint32_t messages = 0;
+};
+
+class op_collector {
+ public:
+  void add(const op_sample& s);
+
+  [[nodiscard]] const summary& write_latency_us() const { return write_lat_; }
+  [[nodiscard]] const summary& read_latency_us() const { return read_lat_; }
+  [[nodiscard]] const summary& write_causal_logs() const { return write_clogs_; }
+  [[nodiscard]] const summary& read_causal_logs() const { return read_clogs_; }
+  [[nodiscard]] const summary& write_total_logs() const { return write_tlogs_; }
+  [[nodiscard]] const summary& read_total_logs() const { return read_tlogs_; }
+  [[nodiscard]] const summary& write_messages() const { return write_msgs_; }
+  [[nodiscard]] const summary& read_messages() const { return read_msgs_; }
+  [[nodiscard]] const summary& write_round_trips() const { return write_rts_; }
+  [[nodiscard]] const summary& read_round_trips() const { return read_rts_; }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  summary write_lat_, read_lat_;
+  summary write_clogs_, read_clogs_;
+  summary write_tlogs_, read_tlogs_;
+  summary write_msgs_, read_msgs_;
+  summary write_rts_, read_rts_;
+};
+
+}  // namespace remus::metrics

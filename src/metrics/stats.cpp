@@ -1,0 +1,74 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace remus::metrics {
+
+void summary::add(double x) {
+  samples_.push_back(x);
+  dirty_ = true;
+}
+
+void summary::merge(const summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  dirty_ = true;
+}
+
+void summary::ensure_sorted() const {
+  if (!dirty_ && sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+double summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0;
+  for (const double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double summary::total() const {
+  double s = 0;
+  for (const double x : samples_) s += x;
+  return s;
+}
+
+double summary::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double summary::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0;
+  for (const double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double summary::percentile(double q) const {
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string summary::describe(const std::string& unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu mean=%.2f%s p50=%.2f%s p95=%.2f%s max=%.2f%s",
+                count(), mean(), unit.c_str(), median(), unit.c_str(),
+                percentile(0.95), unit.c_str(), max(), unit.c_str());
+  return buf;
+}
+
+}  // namespace remus::metrics

@@ -1,0 +1,35 @@
+// Summary statistics over scalar samples (operation latencies, log counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace remus::metrics {
+
+class summary {
+ public:
+  void add(double x);
+  void merge(const summary& other);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// q in [0, 1]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double total() const;
+
+  [[nodiscard]] std::string describe(const std::string& unit) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace remus::metrics

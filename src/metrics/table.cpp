@@ -1,0 +1,45 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace remus::metrics {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      out += " " + s + std::string(width[c] - s.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = line(headers_);
+  std::string sep = "|";
+  for (const std::size_t w : width) sep += std::string(w + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+}  // namespace remus::metrics

@@ -1,0 +1,27 @@
+// Plain-text table rendering for the benchmark harnesses: every bench binary
+// prints rows shaped like the paper's figures so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace remus::metrics {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+  /// Format helper: fixed decimals.
+  [[nodiscard]] static std::string num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace remus::metrics

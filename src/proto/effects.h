@@ -1,0 +1,95 @@
+// Effects emitted by protocol cores (sans-I/O discipline).
+//
+// A core never touches the network, the disk, or a clock: handling one input
+// appends requests to an `outputs` batch, and the driver (the simulator's
+// world or the threaded runtime) executes them. This keeps every algorithm
+// deterministic and lets the simulator charge the paper's delta/lambda costs
+// precisely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+#include "proto/message.h"
+
+namespace remus::proto {
+
+/// Which of the process's two execution contexts performs an effect. The
+/// paper's implementation (section V-A) runs one client thread and one
+/// listener thread per workstation; a synchronous store blocks its context.
+enum class exec_context : std::uint8_t { client, listener };
+
+struct send_request {
+  process_id to;
+  message msg;
+};
+
+struct broadcast_request {
+  message msg;  // delivered to every process, including the sender's listener
+};
+
+struct log_request {
+  std::string key;
+  bytes record;
+  /// Completion token: the driver calls on_log_done(token) once durable.
+  std::uint64_t token = 0;
+  /// Context that blocks on this store.
+  exec_context ctx = exec_context::client;
+  /// Causal-log depth *after* this store (tracing; see message::log_depth).
+  std::uint32_t depth_after = 0;
+  /// Operation this store is attributable to (metrics; 0 = recovery/install),
+  /// identified by the invoker, its incarnation epoch, and its op counter.
+  std::uint64_t op_seq = 0;
+  process_id origin;
+  std::uint64_t epoch = 0;
+};
+
+struct timer_request {
+  std::uint64_t token = 0;
+  time_ns delay = 0;
+};
+
+/// Completion of one read or write operation at its invoking process.
+struct op_outcome {
+  std::uint64_t op_seq = 0;
+  bool is_read = false;
+  /// Read: the returned value. Write: the written value (for the recorder).
+  value result;
+  /// The tag the operation applied (write) or returned (read).
+  tag applied;
+  /// Causal-log count observed on the completion path (paper section I-B).
+  std::uint32_t causal_logs = 0;
+  /// Round-trips used (communication steps = 2x this).
+  std::uint32_t round_trips = 0;
+};
+
+struct outputs {
+  std::vector<send_request> sends;
+  std::vector<broadcast_request> broadcasts;
+  std::vector<log_request> logs;
+  std::vector<timer_request> timers;
+  std::optional<op_outcome> completion;
+  /// Set when a recovery procedure finished and invocations may resume.
+  bool recovery_complete = false;
+
+  void clear() {
+    sends.clear();
+    broadcasts.clear();
+    logs.clear();
+    timers.clear();
+    completion.reset();
+    recovery_complete = false;
+  }
+  [[nodiscard]] bool empty() const {
+    return sends.empty() && broadcasts.empty() && logs.empty() && timers.empty() &&
+           !completion && !recovery_complete;
+  }
+};
+
+}  // namespace remus::proto

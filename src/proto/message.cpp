@@ -1,0 +1,64 @@
+#include "proto/message.h"
+
+namespace remus::proto {
+
+std::string to_string(msg_kind k) {
+  switch (k) {
+    case msg_kind::sn_query: return "SN";
+    case msg_kind::sn_ack: return "SN_ack";
+    case msg_kind::write: return "W";
+    case msg_kind::write_ack: return "W_ack";
+    case msg_kind::read_query: return "R";
+    case msg_kind::read_ack: return "R_ack";
+    case msg_kind::writeback: return "WB";
+  }
+  return "?";
+}
+
+bytes encode(const message& m) {
+  byte_writer w;
+  w.put_u8(static_cast<std::uint8_t>(m.kind));
+  w.put_process(m.from);
+  w.put_u64(m.op_seq);
+  w.put_u32(m.round);
+  w.put_u64(m.epoch);
+  w.put_tag(m.ts);
+  w.put_value(m.val);
+  w.put_u32(m.log_depth);
+  return std::move(w).take();
+}
+
+message decode_message(const bytes& wire) {
+  byte_reader r(wire);
+  message m;
+  const auto k = r.get_u8();
+  if (k < 1 || k > 7) throw codec_error("message: bad kind");
+  m.kind = static_cast<msg_kind>(k);
+  m.from = r.get_process();
+  m.op_seq = r.get_u64();
+  m.round = r.get_u32();
+  m.epoch = r.get_u64();
+  m.ts = r.get_tag();
+  m.val = r.get_value();
+  m.log_depth = r.get_u32();
+  r.expect_done();
+  return m;
+}
+
+std::size_t wire_size(const message& m) {
+  // kind(1) + from(4) + op_seq(8) + round(4) + epoch(8)
+  // + tag(8 + 8 + 4) + value(4 + n) + depth(4)
+  return 1 + 4 + 8 + 4 + 8 + 20 + 4 + m.val.size() + 4;
+}
+
+std::string to_string(const message& m) {
+  std::string out = to_string(m.kind);
+  out += " from p" + std::to_string(m.from.index);
+  out += " op" + std::to_string(m.op_seq) + "/r" + std::to_string(m.round);
+  out += " ts=" + remus::to_string(m.ts);
+  if (!m.val.is_initial()) out += " val=" + remus::to_string(m.val);
+  out += " d=" + std::to_string(m.log_depth);
+  return out;
+}
+
+}  // namespace remus::proto

@@ -1,0 +1,68 @@
+// Wire messages of the shared-memory emulations.
+//
+// All algorithms in the paper use six message kinds (Figures 4 and 5):
+// sequence-number query/ack (the write's first round), write/ack (the second
+// round of writes, the second round of reads, and the recovery round), and
+// read query/ack (the read's first round). A `writeback` kind is transmitted
+// for the read's second round: servers treat it exactly like `write`
+// (adopt-if-newer and log), but keeping it distinct lets tests and flawed
+// policy variants target it.
+//
+// Two metadata fields ride along:
+//  * `epoch`: a per-incarnation nonce, echoed in acks, so that
+//    acknowledgements from before a crash can never satisfy a phase started
+//    after recovery (request/response matching, not algorithmic state);
+//  * `log_depth`: causal-log tracing (paper section I-B). A message carries
+//    the number of causally-ordered stable-storage writes that precede it
+//    within the current operation; acks after a server log carry depth + 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.h"
+#include "common/ids.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace remus::proto {
+
+enum class msg_kind : std::uint8_t {
+  sn_query = 1,   // paper: send(SN)
+  sn_ack = 2,     // paper: send(SN_ack, sn)
+  write = 3,      // paper: send(W, [sn, i], v)
+  write_ack = 4,  // paper: send(W_ack)
+  read_query = 5, // paper: send(R)
+  read_ack = 6,   // paper: send(R_ack, [sn, pid], v)
+  writeback = 7,  // read round 2; server-side identical to `write`
+};
+
+[[nodiscard]] std::string to_string(msg_kind k);
+
+struct message {
+  msg_kind kind = msg_kind::sn_query;
+  process_id from;
+  /// Phase correlation: invoking op + round within it + incarnation nonce.
+  std::uint64_t op_seq = 0;
+  std::uint32_t round = 0;
+  std::uint64_t epoch = 0;
+  /// Payload (meaning depends on kind; unused fields stay default).
+  tag ts;
+  value val;
+  /// Causal-log tracing metadata (see file comment).
+  std::uint32_t log_depth = 0;
+
+  friend bool operator==(const message&, const message&) = default;
+};
+
+/// Serialize for the threaded runtime's wire (and for size accounting in the
+/// simulator: the simulated network charges exactly these bytes).
+[[nodiscard]] bytes encode(const message& m);
+[[nodiscard]] message decode_message(const bytes& wire);
+
+/// Size in bytes of the encoded form, without materializing it.
+[[nodiscard]] std::size_t wire_size(const message& m);
+
+[[nodiscard]] std::string to_string(const message& m);
+
+}  // namespace remus::proto

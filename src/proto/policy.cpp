@@ -1,0 +1,124 @@
+#include "proto/policy.h"
+
+namespace remus::proto {
+
+bool protocol_policy::coherent() const {
+  if (recovery_finish_write && !writer_prelog) return false;
+  if (crash_stop && (log_on_adopt || writer_prelog || recovery_counter)) return false;
+  if (rec_in_tag && !recovery_counter) return false;
+  if (read_return_first && read_writeback) return false;
+  if (!write_query_round && !single_writer) return false;
+  return true;
+}
+
+protocol_policy crash_stop_policy() {
+  protocol_policy p;
+  p.name = "crash-stop";
+  p.crash_stop = true;
+  p.log_on_adopt = false;
+  p.log_on_read_writeback = false;
+  return p;
+}
+
+protocol_policy persistent_policy() {
+  protocol_policy p;
+  p.name = "persistent";
+  p.writer_prelog = true;
+  p.recovery_finish_write = true;
+  return p;
+}
+
+protocol_policy transient_policy() {
+  protocol_policy p;
+  p.name = "transient";
+  p.recovery_counter = true;
+  p.rec_in_tag = true;
+  return p;
+}
+
+protocol_policy abd_swmr_policy() {
+  protocol_policy p = crash_stop_policy();
+  p.name = "abd-swmr";
+  p.write_query_round = false;
+  p.single_writer = true;
+  return p;
+}
+
+protocol_policy regular_swmr_policy() {
+  protocol_policy p = abd_swmr_policy();
+  p.name = "regular-swmr";
+  p.read_writeback = false;
+  return p;
+}
+
+protocol_policy safe_swmr_policy() {
+  protocol_policy p = regular_swmr_policy();
+  p.name = "safe-swmr";
+  p.read_return_first = true;
+  return p;
+}
+
+protocol_policy regular_cr_policy() {
+  protocol_policy p = transient_policy();
+  p.name = "regular-cr";
+  p.read_writeback = false;
+  return p;
+}
+
+protocol_policy safe_cr_policy() {
+  protocol_policy p = regular_cr_policy();
+  p.name = "safe-cr";
+  p.read_return_first = true;
+  return p;
+}
+
+protocol_policy transient_literal_policy() {
+  protocol_policy p = transient_policy();
+  p.name = "transient-literal";
+  p.rec_in_tag = false;
+  return p;
+}
+
+protocol_policy persistent_no_prelog_policy() {
+  protocol_policy p = persistent_policy();
+  p.name = "persistent-no-prelog";
+  p.writer_prelog = false;
+  p.recovery_finish_write = false;
+  return p;
+}
+
+protocol_policy read_no_writeback_policy() {
+  protocol_policy p = persistent_policy();
+  p.name = "read-no-writeback";
+  p.read_writeback = false;
+  return p;
+}
+
+protocol_policy read_volatile_writeback_policy() {
+  protocol_policy p = persistent_policy();
+  p.name = "read-volatile-writeback";
+  p.log_on_read_writeback = false;
+  return p;
+}
+
+protocol_policy ablation_a_policy() {
+  protocol_policy p;
+  p.name = "ablation-A";
+  p.writer_prelog = true;
+  p.recovery_finish_write = true;
+  p.write_query_round = false;
+  p.single_writer = true;
+  p.wait_for_all = true;
+  return p;
+}
+
+protocol_policy ablation_a_prime_policy() {
+  protocol_policy p;
+  p.name = "ablation-A-prime";
+  p.write_query_round = false;
+  p.single_writer = true;
+  p.wait_for_all = true;
+  return p;
+}
+
+}  // namespace remus::proto

@@ -1,0 +1,450 @@
+#include "proto/quorum_core.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace remus::proto {
+
+quorum_core::quorum_core(protocol_policy pol, process_id self, std::uint32_t n,
+                         storage::stable_store& store, std::uint64_t initial_epoch)
+    : pol_(std::move(pol)), self_(self), n_(n), store_(store), epoch_(initial_epoch) {
+  if (!pol_.coherent()) throw precondition_error("quorum_core: incoherent policy " + pol_.name);
+  if (n_ < 1 || !self_.valid() || self_.index >= n_) {
+    throw precondition_error("quorum_core: bad process id / cluster size");
+  }
+}
+
+std::uint32_t quorum_core::quorum_size() const {
+  return pol_.wait_for_all ? n_ : n_ / 2 + 1;
+}
+
+void quorum_core::check_input_allowed(const char* what) const {
+  if (!up_) throw precondition_error(std::string("quorum_core: input while crashed: ") + what);
+}
+
+message quorum_core::make_msg(msg_kind k, std::uint32_t round, std::uint32_t depth) const {
+  message m;
+  m.kind = k;
+  m.from = self_;
+  m.op_seq = cl_.op_seq;
+  m.round = round;
+  m.epoch = epoch_;
+  m.log_depth = depth;
+  return m;
+}
+
+void quorum_core::arm_timer(outputs& out) {
+  cl_.retrans_token = fresh_token();
+  out.timers.push_back(timer_request{cl_.retrans_token, pol_.retransmit_delay});
+}
+
+void quorum_core::begin_phase(phase_kind ph, message msg, outputs& out) {
+  cl_.phase = ph;
+  cl_.responded.assign(n_, false);
+  cl_.responses = 0;
+  cl_.current = std::move(msg);
+  out.broadcasts.push_back(broadcast_request{cl_.current});
+  arm_timer(out);
+}
+
+void quorum_core::start(outputs& out) {
+  (void)out;
+  if (started_) throw precondition_error("quorum_core: start() twice");
+  started_ = true;
+  vtag_ = initial_tag;
+  vval_ = initial_value();
+  if (!pol_.crash_stop) {
+    // Paper Fig. 4/5 Initialize: install the initial stable records. This is
+    // process installation, not a timed operation.
+    if (pol_.writer_prelog) {
+      store_.store(writing_key, encode(tagged_value_record{initial_tag, initial_value()}));
+    }
+    store_.store(written_key, encode(tagged_value_record{initial_tag, initial_value()}));
+    if (pol_.recovery_counter) {
+      store_.store(recovered_key, encode(recovery_record{0}));
+    }
+  }
+}
+
+void quorum_core::invoke_write(const value& v, outputs& out) {
+  check_input_allowed("invoke_write");
+  if (!ready_) throw precondition_error("quorum_core: invoke_write while recovering");
+  if (!idle()) throw precondition_error("quorum_core: invoke_write while op in flight");
+  if (pol_.single_writer && self_.index != 0) {
+    throw precondition_error("quorum_core: " + pol_.name + " allows only p0 to write");
+  }
+
+  cl_ = client_state{};
+  cl_.op_seq = ++op_counter_;
+  cl_.is_read = false;
+  cl_.payload = v;
+
+  if (pol_.write_query_round) {
+    cl_.max_sn = 0;
+    begin_phase(phase_kind::write_query, make_msg(msg_kind::sn_query, 1, 0), out);
+  } else {
+    // Single-writer variants: the writer's own counter replaces the query.
+    wsn_ += 1;
+    cl_.pending_tag = tag{wsn_, pol_.rec_in_tag ? rec_ : 0, self_};
+    proceed_after_query(out);
+  }
+}
+
+void quorum_core::invoke_read(outputs& out) {
+  check_input_allowed("invoke_read");
+  if (!ready_) throw precondition_error("quorum_core: invoke_read while recovering");
+  if (!idle()) throw precondition_error("quorum_core: invoke_read while op in flight");
+
+  cl_ = client_state{};
+  cl_.op_seq = ++op_counter_;
+  cl_.is_read = true;
+  cl_.best_tag = initial_tag;
+  cl_.best_val = initial_value();
+  begin_phase(phase_kind::read_query, make_msg(msg_kind::read_query, 1, 0), out);
+}
+
+void quorum_core::proceed_after_query(outputs& out) {
+  if (pol_.writer_prelog && !pol_.crash_stop) {
+    // Paper Fig. 4 line 12: store(writing, sn, v) — the first causal log.
+    cl_.phase = phase_kind::write_prelog;
+    log_request lr;
+    lr.key = std::string(writing_key);
+    lr.record = encode(tagged_value_record{cl_.pending_tag, cl_.payload});
+    lr.token = fresh_token();
+    lr.ctx = exec_context::client;
+    lr.depth_after = cl_.depth + 1;
+    lr.op_seq = cl_.op_seq;
+    lr.origin = self_;
+    lr.epoch = epoch_;
+    pending_logs_.emplace(lr.token, pending_log{pending_log::kind::writer_prelog,
+                                                no_process, 0, 0, 0, 0});
+    out.logs.push_back(std::move(lr));
+  } else {
+    begin_update_round(out);
+  }
+}
+
+void quorum_core::begin_update_round(outputs& out) {
+  message m = make_msg(msg_kind::write, 2, cl_.depth);
+  m.ts = cl_.pending_tag;
+  m.val = cl_.payload;
+  begin_phase(phase_kind::write_update, std::move(m), out);
+}
+
+void quorum_core::finish_operation(outputs& out) {
+  op_outcome oc;
+  oc.op_seq = cl_.op_seq;
+  oc.is_read = cl_.is_read;
+  oc.causal_logs = cl_.depth;
+  if (cl_.is_read) {
+    if (pol_.read_return_first) {
+      oc.result = cl_.first_val;
+      oc.applied = cl_.first_tag;
+    } else {
+      oc.result = cl_.best_val;
+      oc.applied = cl_.best_tag;
+    }
+    oc.round_trips = pol_.read_writeback ? 2 : 1;
+  } else {
+    oc.result = cl_.payload;
+    oc.applied = cl_.pending_tag;
+    oc.round_trips = pol_.write_query_round ? 2 : 1;
+  }
+  cl_ = client_state{};
+  out.completion = oc;
+}
+
+bool quorum_core::ack_matches(const message& m) const {
+  return m.op_seq == cl_.op_seq && m.epoch == epoch_ &&
+         ((cl_.phase == phase_kind::write_query && m.round == 1) ||
+          (cl_.phase == phase_kind::read_query && m.round == 1) ||
+          (cl_.phase == phase_kind::write_update && m.round == 2) ||
+          (cl_.phase == phase_kind::read_update && m.round == 2) ||
+          (cl_.phase == phase_kind::recovery_update && m.round == 2));
+}
+
+void quorum_core::handle_ack(const message& m, outputs& out) {
+  if (!ack_matches(m)) return;  // stale phase / stale incarnation
+  if (m.from.index >= n_ || cl_.responded[m.from.index]) return;  // duplicate
+
+  switch (cl_.phase) {
+    case phase_kind::write_query:
+      if (m.kind != msg_kind::sn_ack) return;
+      cl_.max_sn = std::max(cl_.max_sn, m.ts.sn);
+      break;
+    case phase_kind::read_query: {
+      if (m.kind != msg_kind::read_ack) return;
+      if (!cl_.have_first) {
+        cl_.have_first = true;
+        cl_.first_tag = m.ts;
+        cl_.first_val = m.val;
+      }
+      if (cl_.best_tag < m.ts) {
+        cl_.best_tag = m.ts;
+        cl_.best_val = m.val;
+      }
+      break;
+    }
+    case phase_kind::write_update:
+    case phase_kind::read_update:
+    case phase_kind::recovery_update:
+      if (m.kind != msg_kind::write_ack) return;
+      break;
+    case phase_kind::idle:
+    case phase_kind::write_prelog:
+      return;
+  }
+
+  cl_.responded[m.from.index] = true;
+  cl_.responses += 1;
+  cl_.depth = std::max(cl_.depth, m.log_depth);
+  if (cl_.responses < quorum_size()) return;
+
+  // Quorum reached: advance the state machine.
+  switch (cl_.phase) {
+    case phase_kind::write_query: {
+      // Fig. 4 line 11: sn := sn + 1; Fig. 5 line 11: sn := sn + rec + 1.
+      const std::int64_t bump = pol_.recovery_counter ? rec_ + 1 : 1;
+      cl_.pending_tag = tag{cl_.max_sn + bump, pol_.rec_in_tag ? rec_ : 0, self_};
+      wsn_ = std::max(wsn_, cl_.pending_tag.sn);
+      proceed_after_query(out);
+      break;
+    }
+    case phase_kind::read_query: {
+      if (pol_.read_writeback) {
+        message wb = make_msg(msg_kind::writeback, 2, cl_.depth);
+        wb.ts = cl_.best_tag;
+        wb.val = cl_.best_val;
+        begin_phase(phase_kind::read_update, std::move(wb), out);
+      } else {
+        finish_operation(out);
+      }
+      break;
+    }
+    case phase_kind::write_update:
+    case phase_kind::read_update:
+      finish_operation(out);
+      break;
+    case phase_kind::recovery_update:
+      cl_ = client_state{};
+      ready_ = true;
+      out.recovery_complete = true;
+      break;
+    case phase_kind::idle:
+    case phase_kind::write_prelog:
+      break;
+  }
+}
+
+void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out) {
+  message ack;
+  ack.kind = msg_kind::write_ack;
+  ack.from = self_;
+  ack.op_seq = req.op_seq;
+  ack.round = req.round;
+  ack.epoch = req.epoch;
+  ack.log_depth = depth;
+  out.sends.push_back(send_request{req.from, std::move(ack)});
+}
+
+void quorum_core::serve(const message& m, outputs& out) {
+  switch (m.kind) {
+    case msg_kind::sn_query: {
+      message ack;
+      ack.kind = msg_kind::sn_ack;
+      ack.from = self_;
+      ack.op_seq = m.op_seq;
+      ack.round = m.round;
+      ack.epoch = m.epoch;
+      ack.ts = vtag_;
+      ack.log_depth = m.log_depth;
+      out.sends.push_back(send_request{m.from, std::move(ack)});
+      return;
+    }
+    case msg_kind::read_query: {
+      message ack;
+      ack.kind = msg_kind::read_ack;
+      ack.from = self_;
+      ack.op_seq = m.op_seq;
+      ack.round = m.round;
+      ack.epoch = m.epoch;
+      ack.ts = vtag_;
+      ack.val = vval_;
+      ack.log_depth = m.log_depth;
+      out.sends.push_back(send_request{m.from, std::move(ack)});
+      return;
+    }
+    case msg_kind::write:
+    case msg_kind::writeback: {
+      const bool adopt = vtag_ < m.ts;
+      if (adopt) {
+        vtag_ = m.ts;
+        vval_ = m.val;
+        const bool log_this = !pol_.crash_stop &&
+                              (m.kind == msg_kind::write ? pol_.log_on_adopt
+                                                         : pol_.log_on_read_writeback);
+        if (log_this) {
+          // Fig. 4 line 24: store(written, sn, pid, v) before acking.
+          log_request lr;
+          lr.key = std::string(written_key);
+          lr.record = encode(tagged_value_record{vtag_, vval_});
+          lr.token = fresh_token();
+          lr.ctx = exec_context::listener;
+          lr.depth_after = m.log_depth + 1;
+          lr.op_seq = m.op_seq;
+          lr.origin = m.from;
+          lr.epoch = m.epoch;
+          pending_logs_.emplace(
+              lr.token, pending_log{pending_log::kind::server_adopt, m.from, m.op_seq,
+                                    m.round, m.epoch, m.log_depth + 1});
+          out.logs.push_back(std::move(lr));
+          return;  // ack deferred until durable
+        }
+      }
+      send_ack(m, m.log_depth, out);
+      return;
+    }
+    case msg_kind::sn_ack:
+    case msg_kind::read_ack:
+    case msg_kind::write_ack:
+      handle_ack(m, out);
+      return;
+  }
+}
+
+void quorum_core::on_message(const message& m, outputs& out) {
+  check_input_allowed("on_message");
+  serve(m, out);
+}
+
+void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
+  check_input_allowed("on_log_done");
+  const auto it = pending_logs_.find(token);
+  if (it == pending_logs_.end()) return;  // stale (pre-crash) completion
+  const pending_log pl = it->second;
+  pending_logs_.erase(it);
+
+  switch (pl.k) {
+    case pending_log::kind::server_adopt: {
+      message ack;
+      ack.kind = msg_kind::write_ack;
+      ack.from = self_;
+      ack.op_seq = pl.op_seq;
+      ack.round = pl.round;
+      ack.epoch = pl.epoch;
+      ack.log_depth = pl.depth;
+      out.sends.push_back(send_request{pl.to, std::move(ack)});
+      return;
+    }
+    case pending_log::kind::writer_prelog: {
+      if (cl_.phase != phase_kind::write_prelog) return;  // crashed & stale
+      cl_.depth += 1;
+      begin_update_round(out);
+      return;
+    }
+    case pending_log::kind::recovery_counter: {
+      ready_ = true;
+      out.recovery_complete = true;
+      return;
+    }
+  }
+}
+
+void quorum_core::on_timer(std::uint64_t token, outputs& out) {
+  check_input_allowed("on_timer");
+  if (token != cl_.retrans_token) return;  // stale timer
+  switch (cl_.phase) {
+    case phase_kind::idle:
+    case phase_kind::write_prelog:
+      return;
+    default:
+      break;
+  }
+  // Repeat the pseudocode's "repeat send until" loop: re-send to the
+  // processes that have not answered this phase yet.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!cl_.responded[i]) out.sends.push_back(send_request{process_id{i}, cl_.current});
+  }
+  arm_timer(out);
+}
+
+void quorum_core::crash() {
+  if (!up_) return;
+  up_ = false;
+  ready_ = false;
+  vtag_ = initial_tag;
+  vval_ = initial_value();
+  rec_ = 0;
+  wsn_ = 0;
+  cl_ = client_state{};
+  pending_logs_.clear();
+  op_counter_ = 0;
+}
+
+void quorum_core::restore_volatile_from_stable() {
+  if (const auto rec = store_.retrieve(written_key)) {
+    const auto tv = decode_tagged_value(*rec);
+    vtag_ = tv.ts;
+    vval_ = tv.val;
+  } else {
+    vtag_ = initial_tag;
+    vval_ = initial_value();
+  }
+  wsn_ = vtag_.sn;
+}
+
+void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
+  if (pol_.crash_stop) {
+    throw precondition_error("quorum_core: recover() in the crash-stop model");
+  }
+  if (up_) throw precondition_error("quorum_core: recover() while up");
+  up_ = true;
+  ready_ = false;
+  epoch_ = new_epoch;
+  restore_volatile_from_stable();
+
+  if (pol_.recovery_counter) {
+    // Paper Fig. 5 Recover: rec := rec + 1; store(recovered, rec).
+    std::int64_t prev = 0;
+    if (const auto rec = store_.retrieve(recovered_key)) {
+      prev = decode_recovery(*rec).recoveries;
+    }
+    rec_ = prev + 1;
+    log_request lr;
+    lr.key = std::string(recovered_key);
+    lr.record = encode(recovery_record{rec_});
+    lr.token = fresh_token();
+    lr.ctx = exec_context::client;
+    lr.depth_after = 1;
+    lr.op_seq = 0;  // recovery, not an operation
+    lr.origin = self_;
+    lr.epoch = epoch_;
+    pending_logs_.emplace(lr.token, pending_log{pending_log::kind::recovery_counter,
+                                                no_process, 0, 0, 0, 0});
+    out.logs.push_back(std::move(lr));
+    return;
+  }
+
+  if (pol_.recovery_finish_write) {
+    // Paper Fig. 4 Recover: re-run the write's second round with the logged
+    // (writing) record. Harmless when there was no unfinished write.
+    tagged_value_record w{initial_tag, initial_value()};
+    if (const auto rec = store_.retrieve(writing_key)) w = decode_tagged_value(*rec);
+    cl_ = client_state{};
+    cl_.op_seq = ++op_counter_;
+    cl_.pending_tag = w.ts;
+    cl_.payload = w.val;
+    message m = make_msg(msg_kind::write, 2, 0);
+    m.ts = w.ts;
+    m.val = w.val;
+    begin_phase(phase_kind::recovery_update, std::move(m), out);
+    return;
+  }
+
+  // Nothing else to do (flawed variants, and transient_literal without its
+  // counter would land here too).
+  ready_ = true;
+  out.recovery_complete = true;
+}
+
+}  // namespace remus::proto

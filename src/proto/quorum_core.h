@@ -1,0 +1,150 @@
+// The two-round quorum register core executing any protocol_policy.
+//
+// This is the paper's Figure 4 (persistent) and Figure 5 (transient)
+// pseudocode, plus the crash-stop baseline they extend ([2] in the paper),
+// expressed as one sans-I/O state machine:
+//
+//   Write(v):  round 1  broadcast SN, await majority of SN_acks,
+//                       sn := max + 1        (Fig. 4 line 11)
+//                       sn := max + rec + 1  (Fig. 5 line 11)
+//              [persistent] store(writing, sn, v), the first causal log
+//              round 2  broadcast W([sn, i], v), await majority of W_acks;
+//                       each replica adopts if newer and (crash-recovery)
+//                       stores (written, sn, pid, v) before acking — the
+//                       write's other causal log
+//   Read():    round 1  broadcast R, await majority of R_acks, pick the
+//                       lexicographically largest (tag, value)
+//              round 2  broadcast the write-back; replicas adopt-if-newer
+//                       (logging only when they actually adopt, which is why
+//                       a crash-free uncontended read performs zero logs)
+//   Recover(): restore (written) into volatile state, then
+//              [persistent] re-run round 2 with the logged (writing) record
+//              [transient]  rec := rec + 1; store(recovered, rec)
+//
+// The policy switches (see policy.h) turn individual steps on or off; the
+// flawed variants used by the lower-bound tests are the same machine with a
+// step removed, exactly like the paper's proofs remove a log and derive a
+// violation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "proto/register_core.h"
+#include "proto/records.h"
+#include "storage/stable_store.h"
+
+namespace remus::proto {
+
+class quorum_core final : public register_core {
+ public:
+  /// `store` must outlive the core and survives crash() (stable storage).
+  quorum_core(protocol_policy pol, process_id self, std::uint32_t n,
+              storage::stable_store& store, std::uint64_t initial_epoch);
+
+  void start(outputs& out) override;
+  void invoke_write(const value& v, outputs& out) override;
+  void invoke_read(outputs& out) override;
+  void on_message(const message& m, outputs& out) override;
+  void on_log_done(std::uint64_t token, outputs& out) override;
+  void on_timer(std::uint64_t token, outputs& out) override;
+  void crash() override;
+  void recover(std::uint64_t new_epoch, outputs& out) override;
+
+  [[nodiscard]] bool idle() const override { return cl_.phase == phase_kind::idle; }
+  [[nodiscard]] bool ready() const override { return up_ && ready_; }
+  [[nodiscard]] bool is_up() const override { return up_; }
+  [[nodiscard]] const protocol_policy& policy() const override { return pol_; }
+  [[nodiscard]] tag replica_tag() const override { return vtag_; }
+  [[nodiscard]] value replica_value() const override { return vval_; }
+
+  /// Recovery-counter value (transient emulation; 0 otherwise).
+  [[nodiscard]] std::int64_t recoveries() const { return rec_; }
+  /// Majority size used for quorums.
+  [[nodiscard]] std::uint32_t quorum_size() const;
+  /// Incarnation nonce (request/response matching metadata).
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+  /// Sequence number of the op in flight (or the last one when idle).
+  [[nodiscard]] std::uint64_t current_op_seq() const { return cl_.op_seq; }
+  /// The stable store backing this core (drivers execute log effects on it).
+  [[nodiscard]] storage::stable_store& stable_storage() const { return store_; }
+
+ private:
+  enum class phase_kind : std::uint8_t {
+    idle,
+    write_query,     // round 1 of a write (SN)
+    write_prelog,    // waiting for the (writing) store
+    write_update,    // round 2 of a write (W)
+    read_query,      // round 1 of a read (R)
+    read_update,     // round 2 of a read (write-back)
+    recovery_update  // persistent recovery's finish-write round
+  };
+
+  struct client_state {
+    phase_kind phase = phase_kind::idle;
+    std::uint64_t op_seq = 0;
+    bool is_read = false;
+    value payload;        // write argument
+    tag pending_tag;      // tag chosen for round 2
+    std::int64_t max_sn = 0;
+    tag best_tag;         // freshest (tag, value) seen in a read's round 1
+    value best_val;
+    bool have_first = false;
+    tag first_tag;        // first reply (safe-register reads)
+    value first_val;
+    std::vector<bool> responded;
+    std::uint32_t responses = 0;
+    std::uint32_t depth = 0;  // causal-log depth along this op
+    std::uint64_t retrans_token = 0;
+    message current;  // message being repeated until enough acks arrive
+  };
+
+  struct pending_log {
+    enum class kind : std::uint8_t { server_adopt, writer_prelog, recovery_counter };
+    kind k = kind::server_adopt;
+    // server_adopt fields: the ack to send once durable.
+    process_id to;
+    std::uint64_t op_seq = 0;
+    std::uint32_t round = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t depth = 0;
+  };
+
+  void check_input_allowed(const char* what) const;
+  void begin_phase(phase_kind ph, message msg, outputs& out);
+  void proceed_after_query(outputs& out);
+  void begin_update_round(outputs& out);
+  void finish_operation(outputs& out);
+  [[nodiscard]] bool ack_matches(const message& m) const;
+  void handle_ack(const message& m, outputs& out);
+  void serve(const message& m, outputs& out);
+  [[nodiscard]] message make_msg(msg_kind k, std::uint32_t round,
+                                 std::uint32_t depth) const;
+  void send_ack(const message& req, std::uint32_t depth, outputs& out);
+  [[nodiscard]] std::uint64_t fresh_token() { return next_token_++; }
+  void arm_timer(outputs& out);
+  void restore_volatile_from_stable();
+
+  const protocol_policy pol_;
+  const process_id self_;
+  const std::uint32_t n_;
+  storage::stable_store& store_;
+
+  // Volatile state (lost on crash).
+  tag vtag_;                // replica tag (paper: [sn, pid])
+  value vval_;              // replica value (paper: v)
+  std::int64_t rec_ = 0;    // recovery counter (paper Fig. 5: rec)
+  std::int64_t wsn_ = 0;    // local write counter (single-writer variants)
+  client_state cl_;
+  std::map<std::uint64_t, pending_log> pending_logs_;
+  std::uint64_t op_counter_ = 0;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t epoch_ = 0;
+  bool up_ = true;
+  bool ready_ = true;
+  bool started_ = false;
+};
+
+}  // namespace remus::proto

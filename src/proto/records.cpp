@@ -1,0 +1,35 @@
+#include "proto/records.h"
+
+namespace remus::proto {
+
+bytes encode(const tagged_value_record& r) {
+  byte_writer w;
+  w.put_tag(r.ts);
+  w.put_value(r.val);
+  return std::move(w).take();
+}
+
+tagged_value_record decode_tagged_value(const bytes& b) {
+  byte_reader r(b);
+  tagged_value_record rec;
+  rec.ts = r.get_tag();
+  rec.val = r.get_value();
+  r.expect_done();
+  return rec;
+}
+
+bytes encode(const recovery_record& r) {
+  byte_writer w;
+  w.put_i64(r.recoveries);
+  return std::move(w).take();
+}
+
+recovery_record decode_recovery(const bytes& b) {
+  byte_reader r(b);
+  recovery_record rec;
+  rec.recoveries = r.get_i64();
+  r.expect_done();
+  return rec;
+}
+
+}  // namespace remus::proto

@@ -1,0 +1,43 @@
+// Stable-storage record formats.
+//
+// The algorithms log three kinds of records (paper Figures 4 and 5):
+//   * "writing"   — the writer's pre-log of (tag, value) before round 2
+//                   (persistent emulation only; enables finish-on-recovery);
+//   * "written"   — a replica's adopted (tag, value) (both emulations);
+//   * "recovered" — the recovery counter (transient emulation only).
+// Records overwrite in place; recovery reads the latest of each key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/codec.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace remus::proto {
+
+inline constexpr std::string_view writing_key = "writing";
+inline constexpr std::string_view written_key = "written";
+inline constexpr std::string_view recovered_key = "recovered";
+
+struct tagged_value_record {
+  tag ts;
+  value val;
+
+  friend bool operator==(const tagged_value_record&, const tagged_value_record&) = default;
+};
+
+[[nodiscard]] bytes encode(const tagged_value_record& r);
+[[nodiscard]] tagged_value_record decode_tagged_value(const bytes& b);
+
+struct recovery_record {
+  std::int64_t recoveries = 0;
+
+  friend bool operator==(const recovery_record&, const recovery_record&) = default;
+};
+
+[[nodiscard]] bytes encode(const recovery_record& r);
+[[nodiscard]] recovery_record decode_recovery(const bytes& b);
+
+}  // namespace remus::proto

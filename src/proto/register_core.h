@@ -1,0 +1,61 @@
+// Abstract interface of a shared-register protocol core.
+//
+// One core instance embodies one process p_i of the emulation: the client
+// role (invoking reads/writes on behalf of the application) and the listener
+// role (serving other processes' protocol messages) of the paper's two-thread
+// processes. Inputs arrive one at a time; each call may append effects to the
+// provided `outputs` batch.
+//
+// Lifecycle:
+//   start(out)                      — fresh install (writes initial records)
+//   invoke_write/invoke_read        — requires idle() && ready()
+//   on_message / on_log_done / on_timer
+//   crash()                         — volatile state vanishes
+//   recover(epoch, out)             — crash-recovery model only; when the
+//                                     recovery procedure completes the core
+//                                     sets outputs::recovery_complete (maybe
+//                                     in a later batch) and ready() is true
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+#include "proto/effects.h"
+#include "proto/policy.h"
+
+namespace remus::proto {
+
+class register_core {
+ public:
+  virtual ~register_core() = default;
+
+  register_core(const register_core&) = delete;
+  register_core& operator=(const register_core&) = delete;
+
+  virtual void start(outputs& out) = 0;
+  virtual void invoke_write(const value& v, outputs& out) = 0;
+  virtual void invoke_read(outputs& out) = 0;
+  virtual void on_message(const message& m, outputs& out) = 0;
+  virtual void on_log_done(std::uint64_t token, outputs& out) = 0;
+  virtual void on_timer(std::uint64_t token, outputs& out) = 0;
+  virtual void crash() = 0;
+  virtual void recover(std::uint64_t new_epoch, outputs& out) = 0;
+
+  /// No client operation in flight.
+  [[nodiscard]] virtual bool idle() const = 0;
+  /// Up and not inside a recovery procedure: invocations accepted.
+  [[nodiscard]] virtual bool ready() const = 0;
+  [[nodiscard]] virtual bool is_up() const = 0;
+  [[nodiscard]] virtual const protocol_policy& policy() const = 0;
+
+  /// Replica-state introspection (tests, diagnostics).
+  [[nodiscard]] virtual tag replica_tag() const = 0;
+  [[nodiscard]] virtual value replica_value() const = 0;
+
+ protected:
+  register_core() = default;
+};
+
+}  // namespace remus::proto

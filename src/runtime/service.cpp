@@ -1,0 +1,43 @@
+#include "runtime/service.h"
+
+#include "common/error.h"
+#include "storage/file_store.h"
+#include "storage/memory_store.h"
+
+namespace remus::runtime {
+
+service::service(service_options opt) : opt_(std::move(opt)) {
+  if (opt_.n == 0) throw driver_error("service: n must be >= 1");
+  net_ = std::make_unique<transport>(opt_.net, opt_.seed);
+  stores_.reserve(opt_.n);
+  nodes_.reserve(opt_.n);
+  for (std::uint32_t i = 0; i < opt_.n; ++i) {
+    if (opt_.durable_dir) {
+      stores_.push_back(
+          std::make_unique<storage::file_store>(*opt_.durable_dir / std::to_string(i)));
+    } else {
+      stores_.push_back(std::make_unique<storage::memory_store>());
+    }
+    nodes_.push_back(std::make_unique<node>(opt_.policy, process_id{i}, opt_.n,
+                                            *stores_.back(), *net_, recorder_, opt_.node,
+                                            opt_.seed + i));
+  }
+  for (auto& nd : nodes_) nd->start();
+}
+
+service::~service() = default;
+
+node& service::at(process_id p) {
+  if (!p.valid() || p.index >= nodes_.size()) throw driver_error("service: bad process id");
+  return *nodes_[p.index];
+}
+
+value service::read(process_id p) { return at(p).read(); }
+
+void service::write(process_id p, const value& v) { at(p).write(v); }
+
+void service::crash(process_id p) { at(p).crash(); }
+
+void service::recover(process_id p) { at(p).recover(); }
+
+}  // namespace remus::runtime

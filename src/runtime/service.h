@@ -1,0 +1,57 @@
+// service: the threaded runtime's facade — an n-process shared-memory
+// emulation on real threads, one call away. Owns the transport, the stable
+// stores (in-memory by default, fsync'd files on request), the nodes and a
+// shared history recorder.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "history/recorder.h"
+#include "proto/policy.h"
+#include "runtime/node.h"
+#include "runtime/transport.h"
+#include "storage/stable_store.h"
+
+namespace remus::runtime {
+
+struct service_options {
+  std::uint32_t n = 3;
+  proto::protocol_policy policy = proto::persistent_policy();
+  transport_options net{};
+  node_options node{};
+  /// When set, stable storage is fsync'd files under dir/<process-index>/
+  /// (the paper's synchronous-file logging); otherwise in-memory stores.
+  std::optional<std::filesystem::path> durable_dir;
+  std::uint64_t seed = 1;
+};
+
+class service {
+ public:
+  explicit service(service_options opt);
+  ~service();
+
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  [[nodiscard]] value read(process_id p);
+  void write(process_id p, const value& v);
+  void crash(process_id p);
+  void recover(process_id p);
+
+  [[nodiscard]] node& at(process_id p);
+  [[nodiscard]] history::history_log events() const { return recorder_.events(); }
+  [[nodiscard]] std::uint32_t size() const { return opt_.n; }
+  [[nodiscard]] transport& net() { return *net_; }
+
+ private:
+  service_options opt_;
+  std::unique_ptr<transport> net_;
+  history::recorder recorder_;
+  std::vector<std::unique_ptr<storage::stable_store>> stores_;
+  std::vector<std::unique_ptr<node>> nodes_;
+};
+
+}  // namespace remus::runtime

@@ -1,0 +1,84 @@
+// In-process datagram transport for the threaded runtime.
+//
+// Models the paper's UDP + IP-multicast setup (section V-A): unreliable,
+// unordered, connectionless. Messages cross the wire format (encode/decode)
+// so the codec is exercised; a scheduler thread applies configurable delay
+// and jitter; drops and duplicates are coin flips. A node that is not
+// registered (crashed) silently loses its traffic, like a dead UDP socket.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "proto/message.h"
+
+namespace remus::runtime {
+
+struct transport_options {
+  /// Fixed one-way delay plus uniform jitter, in nanoseconds of wall time.
+  time_ns base_delay = 0;
+  time_ns jitter = 0;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+class transport {
+ public:
+  using handler = std::function<void(const proto::message&)>;
+
+  explicit transport(transport_options opt = {}, std::uint64_t seed = 1);
+  ~transport();
+
+  transport(const transport&) = delete;
+  transport& operator=(const transport&) = delete;
+
+  /// Attach a receiver; messages are dispatched on the scheduler thread.
+  void attach(process_id p, handler h);
+  /// Detach (crash): subsequent traffic to p is dropped.
+  void detach(process_id p);
+
+  void send(process_id to, const proto::message& m);
+  void broadcast(std::uint32_t n, const proto::message& m);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const;
+  [[nodiscard]] std::uint64_t datagrams_dropped() const;
+
+ private:
+  struct packet {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;
+    process_id to;
+    bytes wire;
+
+    friend bool operator>(const packet& a, const packet& b) {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue_copy(process_id to, const bytes& wire);
+  void pump();
+
+  transport_options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, handler> handlers_;
+  std::priority_queue<packet, std::vector<packet>, std::greater<>> queue_;
+  rng rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool stop_ = false;
+  std::thread pump_thread_;
+};
+
+}  // namespace remus::runtime

@@ -1,0 +1,19 @@
+#include "sim/disk_model.h"
+
+#include <algorithm>
+
+namespace remus::sim {
+
+time_ns disk_model::issue(time_ns now, std::size_t size_bytes) {
+  time_ns service = cfg_.base_latency;
+  if (cfg_.bandwidth_bps > 0) {
+    service += static_cast<time_ns>(
+        (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+  }
+  const time_ns start = std::max(now, free_at_);
+  free_at_ = start + service;
+  ++issued_;
+  return free_at_;
+}
+
+}  // namespace remus::sim

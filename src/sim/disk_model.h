@@ -1,0 +1,47 @@
+// Synchronous-log disk model.
+//
+// The paper measures that logging a single byte costs about twice a LAN
+// message transit (~0.2 ms, section I-A) on their IDE disks, and that log
+// time grows linearly with record size (Fig. 6 bottom). The model charges
+//   service = base_latency + bytes / bandwidth
+// per store, with one FIFO disk per process: concurrent stores from the two
+// execution contexts of a process (client thread, listener thread) queue.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace remus::sim {
+
+struct disk_config {
+  /// Fixed per-store latency (seek + rotational + controller; paper ~200 us).
+  time_ns base_latency = 200 * 1000;
+  /// Sustained write bandwidth in bytes/second (IDE-era ~20 MB/s). 0 = inf.
+  std::int64_t bandwidth_bps = 20'000'000;
+};
+
+/// One process's disk: computes completion times for stores issued at a
+/// given virtual time, serializing overlapping requests.
+class disk_model {
+ public:
+  explicit disk_model(disk_config cfg) : cfg_(cfg) {}
+
+  /// Issue a store of `size` bytes at time `now`; returns the absolute time
+  /// at which it becomes durable.
+  time_ns issue(time_ns now, std::size_t size_bytes);
+
+  /// Crash wipes the request queue (in-flight stores never become durable
+  /// under the conservative crash model; the world cancels their events).
+  void reset(time_ns now) { free_at_ = now; }
+
+  [[nodiscard]] std::uint64_t stores_issued() const { return issued_; }
+  [[nodiscard]] const disk_config& config() const { return cfg_; }
+
+ private:
+  disk_config cfg_;
+  time_ns free_at_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace remus::sim

@@ -1,0 +1,68 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace remus::sim {
+
+event_queue::token event_queue::schedule_at(time_ns at, action fn) {
+  if (at < now_) throw driver_error("event_queue: scheduling into the past");
+  const token id = next_id_++;
+  heap_.push(entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool event_queue::is_cancelled(token t) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), t) != cancelled_.end();
+}
+
+bool event_queue::cancel(token t) {
+  if (t == 0 || t >= next_id_ || is_cancelled(t)) return false;
+  cancelled_.push_back(t);
+  return true;
+}
+
+bool event_queue::step() {
+  while (!heap_.empty()) {
+    entry e = heap_.top();
+    heap_.pop();
+    if (is_cancelled(e.id)) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), e.id),
+                       cancelled_.end());
+      --live_;
+      continue;
+    }
+    now_ = e.at;
+    --live_;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t event_queue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::uint64_t event_queue::run_until(time_ns deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    // Skip cancelled heads so top().at is a live timestamp.
+    while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), heap_.top().id),
+          cancelled_.end());
+      heap_.pop();
+      --live_;
+    }
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    if (step()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace remus::sim

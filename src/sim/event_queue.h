@@ -1,0 +1,73 @@
+// Deterministic discrete-event queue: the heart of the simulated
+// asynchronous system. Events at equal timestamps run in insertion order,
+// so a run is a pure function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+#include "common/time.h"
+
+namespace remus::sim {
+
+class event_queue {
+ public:
+  using action = std::function<void()>;
+
+  /// Token identifying a scheduled event, usable for cancellation.
+  using token = std::uint64_t;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  token schedule_at(time_ns at, action fn);
+
+  /// Schedule `fn` `delay` after now().
+  token schedule_after(time_ns delay, action fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a scheduled event; returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(token t);
+
+  /// Run the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or `limit` events executed.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = ~0ULL);
+
+  /// Run events with timestamp <= deadline (inclusive); later events stay.
+  std::uint64_t run_until(time_ns deadline);
+
+  [[nodiscard]] time_ns now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct entry {
+    time_ns at;
+    token id;
+    action fn;  // empty when cancelled
+
+    friend bool operator>(const entry& a, const entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  // Cancellation marks the id in `cancelled_`; entries are lazily skipped.
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+  std::vector<token> cancelled_;
+  time_ns now_ = 0;
+  token next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+
+  [[nodiscard]] bool is_cancelled(token t) const;
+};
+
+}  // namespace remus::sim

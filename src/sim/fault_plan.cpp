@@ -1,0 +1,74 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+namespace remus::sim {
+
+void fault_plan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const fault_event& a, const fault_event& b) { return a.at < b.at; });
+}
+
+bool fault_plan::well_formed(std::uint32_t n) const {
+  std::vector<bool> down(n, false);
+  time_ns prev = 0;
+  for (const auto& e : events) {
+    if (e.at < prev) return false;
+    prev = e.at;
+    if (e.target.index >= n) return false;
+    const bool is_down = down[e.target.index];
+    if (e.kind == fault_kind::crash) {
+      if (is_down) return false;
+      down[e.target.index] = true;
+    } else {
+      if (!is_down) return false;
+      down[e.target.index] = false;
+    }
+  }
+  return true;
+}
+
+bool fault_plan::all_up_eventually(std::uint32_t n) const {
+  std::vector<bool> down(n, false);
+  for (const auto& e : events) down[e.target.index] = (e.kind == fault_kind::crash);
+  return std::none_of(down.begin(), down.end(), [](bool d) { return d; });
+}
+
+fault_plan make_random_plan(const random_plan_config& cfg, rng& r) {
+  fault_plan plan;
+  std::vector<time_ns> down_until(cfg.n, -1);
+  const std::uint32_t majority = cfg.n / 2 + 1;
+
+  for (std::uint32_t i = 0; i < cfg.crashes; ++i) {
+    const time_ns at = r.next_in(0, cfg.horizon);
+    const process_id p{static_cast<std::uint32_t>(r.next_below(cfg.n))};
+    if (down_until[p.index] >= at) continue;  // already down around this time
+
+    if (!cfg.allow_majority_crash) {
+      // Keep a majority alive at every instant: count overlapping downtimes.
+      std::uint32_t down_now = 0;
+      for (std::uint32_t q = 0; q < cfg.n; ++q) {
+        if (q != p.index && down_until[q] >= at) ++down_now;
+      }
+      if (down_now + 1 > cfg.n - majority) continue;
+    }
+
+    const time_ns down =
+        cfg.max_down > cfg.min_down ? r.next_in(cfg.min_down, cfg.max_down) : cfg.min_down;
+    plan.add_crash(at, p);
+    plan.add_recover(at + down + 1, p);
+    down_until[p.index] = at + down + 1;
+  }
+  plan.sort();
+  return plan;
+}
+
+fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down) {
+  fault_plan plan;
+  for (std::uint32_t i = 0; i < n; ++i) plan.add_crash(at, process_id{i});
+  for (std::uint32_t i = 0; i < n; ++i) plan.add_recover(at + down, process_id{i});
+  plan.sort();
+  return plan;
+}
+
+}  // namespace remus::sim

@@ -1,0 +1,68 @@
+// Crash/recovery fault schedules.
+//
+// The paper's model (section II) allows every process to crash, even all at
+// once, as long as eventually a majority stays up long enough for pending
+// operations to finish. A fault_plan is a list of timed crash/recover
+// events; generators build randomized plans that respect the
+// eventually-correct-majority assumption so property tests always terminate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace remus::sim {
+
+enum class fault_kind : std::uint8_t { crash, recover };
+
+struct fault_event {
+  time_ns at = 0;
+  fault_kind kind = fault_kind::crash;
+  process_id target;
+};
+
+struct fault_plan {
+  std::vector<fault_event> events;  // sorted by time
+
+  void add_crash(time_ns at, process_id p) {
+    events.push_back({at, fault_kind::crash, p});
+  }
+  void add_recover(time_ns at, process_id p) {
+    events.push_back({at, fault_kind::recover, p});
+  }
+  void sort();
+
+  /// Validates alternation per process (crash, recover, crash, ...).
+  [[nodiscard]] bool well_formed(std::uint32_t n) const;
+
+  /// True if after the last event every process is up (the strongest form of
+  /// "eventually a majority is permanently up").
+  [[nodiscard]] bool all_up_eventually(std::uint32_t n) const;
+};
+
+struct random_plan_config {
+  std::uint32_t n = 5;
+  /// Number of crash events to generate in total.
+  std::uint32_t crashes = 4;
+  /// Window in which crashes may happen.
+  time_ns horizon = 0;
+  /// How long a crashed process stays down: U[min_down, max_down].
+  time_ns min_down = 0;
+  time_ns max_down = 0;
+  /// If true, may crash a majority (or everyone) simultaneously; recovery
+  /// still brings everyone back by the end.
+  bool allow_majority_crash = true;
+};
+
+/// Generates a well-formed plan where every crash has a matching recovery
+/// and all processes are up after `horizon + max_down`.
+[[nodiscard]] fault_plan make_random_plan(const random_plan_config& cfg, rng& r);
+
+/// Crashes every process at `at` and recovers all of them at `at + down`
+/// (the paper's "all crash, possibly at the same time" scenario).
+[[nodiscard]] fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down);
+
+}  // namespace remus::sim

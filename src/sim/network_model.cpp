@@ -1,0 +1,82 @@
+#include "sim/network_model.h"
+
+#include <algorithm>
+
+namespace remus::sim {
+
+bool network_model::link_cut(process_id from, process_id to) const {
+  return std::find(cut_.begin(), cut_.end(), std::make_pair(from, to)) != cut_.end();
+}
+
+void network_model::cut_link(process_id from, process_id to) {
+  if (!link_cut(from, to)) cut_.emplace_back(from, to);
+}
+
+void network_model::restore_link(process_id from, process_id to) {
+  cut_.erase(std::remove(cut_.begin(), cut_.end(), std::make_pair(from, to)),
+             cut_.end());
+}
+
+void network_model::restore_all_links() { cut_.clear(); }
+
+std::vector<delivery> network_model::route(time_ns now, process_id from,
+                                           const std::vector<process_id>& tos,
+                                           std::size_t size_bytes,
+                                           std::uint8_t kind,
+                                           std::uint64_t op_seq,
+                                           std::uint32_t round) {
+  std::vector<delivery> out;
+  out.reserve(tos.size());
+
+  // One serialization for the whole broadcast (IP multicast on a LAN).
+  time_ns serialize = 0;
+  if (cfg_.bandwidth_bps > 0) {
+    serialize = static_cast<time_ns>(
+        (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+  }
+  bytes_ += size_bytes;
+
+  for (const process_id to : tos) {
+    const int copies =
+        1 + (cfg_.duplicate_probability > 0 && rng_.chance(cfg_.duplicate_probability)
+                 ? 1
+                 : 0);
+    for (int c = 0; c < copies; ++c) {
+      ++routed_;
+      if (link_cut(from, to)) {
+        ++dropped_;
+        continue;
+      }
+      std::optional<time_ns> forced;
+      if (filter_) {
+        const filter_verdict v =
+            filter_(packet_info{from, to, size_bytes, kind, op_seq, round, now});
+        if (v.drop) {
+          ++dropped_;
+          continue;
+        }
+        forced = v.deliver_at;
+      }
+      if (!forced && cfg_.drop_probability > 0 && rng_.chance(cfg_.drop_probability)) {
+        ++dropped_;
+        continue;
+      }
+      time_ns at;
+      if (forced) {
+        at = std::max(*forced, now);
+      } else if (to == from) {
+        at = now + cfg_.loopback_delay + (c > 0 ? 1 : 0);
+      } else {
+        const time_ns jit =
+            cfg_.jitter > 0 ? static_cast<time_ns>(rng_.next_below(
+                                  static_cast<std::uint64_t>(cfg_.jitter)))
+                            : 0;
+        at = now + serialize + cfg_.base_delay + jit + (c > 0 ? 1 : 0);
+      }
+      out.push_back(delivery{to, at});
+    }
+  }
+  return out;
+}
+
+}  // namespace remus::sim

@@ -1,0 +1,108 @@
+// Fair-lossy channel model (paper section II, after [Lynch 96]).
+//
+// The model charges, per message:
+//   * sender serialization: bytes / bandwidth (an IP-multicast broadcast is
+//     serialized once, like the paper's 100 Mbps LAN with multicast),
+//   * propagation: base one-way delay delta (the paper's ~0.1 ms transit),
+//   * jitter: uniform or exponential extra delay,
+// and may drop or duplicate any message with configured probabilities
+// (fair-lossy: a message retransmitted forever is eventually delivered —
+// guaranteed here because drops are independent coin flips with p < 1).
+//
+// A user-supplied filter can force drops or delay overrides for specific
+// messages; adversarial schedule tests (runs rho1-rho4 of the paper) use it
+// to steer who receives what.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace remus::sim {
+
+struct network_config {
+  /// One-way propagation delay (paper: ~100 us on their LAN).
+  time_ns base_delay = 100 * 1000;
+  /// Uniform jitter added on top of base_delay: U[0, jitter].
+  time_ns jitter = 5 * 1000;
+  /// Link bandwidth in bytes per second (100 Mbps = 12.5 MB/s). 0 = infinite.
+  std::int64_t bandwidth_bps = 100'000'000 / 8;
+  /// Loopback (self) delivery delay; a process messaging its own listener.
+  time_ns loopback_delay = 10 * 1000;
+  /// Probability of dropping a unicast copy (fair-lossy: < 1).
+  double drop_probability = 0.0;
+  /// Probability of delivering an extra duplicate copy.
+  double duplicate_probability = 0.0;
+};
+
+/// Outcome of routing one message copy to one destination.
+struct delivery {
+  process_id to;
+  time_ns deliver_at;  // absolute virtual time
+};
+
+/// Filter verdict for one (from, to) copy: drop it, deliver at a forced
+/// absolute time, or defer to the model's randomized delay.
+struct filter_verdict {
+  bool drop = false;
+  std::optional<time_ns> deliver_at;
+};
+
+/// Metadata handed to filters (enough to identify protocol traffic without
+/// depending on proto/).
+struct packet_info {
+  process_id from;
+  process_id to;
+  std::size_t size_bytes = 0;
+  std::uint8_t kind = 0;        // proto::msg_kind cast to its underlying type
+  std::uint64_t op_seq = 0;     // invoking operation sequence number
+  std::uint32_t round = 0;      // protocol round within the operation
+  time_ns now = 0;              // send time, for relative deliver_at forcing
+};
+
+using packet_filter = std::function<filter_verdict(const packet_info&)>;
+
+class network_model {
+ public:
+  network_model(network_config cfg, rng r) : cfg_(cfg), rng_(r) {}
+
+  /// Route one broadcast (or unicast when `tos` has one entry) sent at `now`.
+  /// Returns the scheduled deliveries (drops excluded, duplicates included).
+  /// Broadcast serialization is charged once (IP multicast).
+  std::vector<delivery> route(time_ns now, process_id from,
+                              const std::vector<process_id>& tos,
+                              std::size_t size_bytes, std::uint8_t kind,
+                              std::uint64_t op_seq, std::uint32_t round);
+
+  void set_filter(packet_filter f) { filter_ = std::move(f); }
+  void clear_filter() { filter_ = nullptr; }
+
+  /// Cut or restore a directed link (partition injection). Cut links drop
+  /// every copy until restored.
+  void cut_link(process_id from, process_id to);
+  void restore_link(process_id from, process_id to);
+  void restore_all_links();
+
+  [[nodiscard]] const network_config& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t messages_routed() const { return routed_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  [[nodiscard]] bool link_cut(process_id from, process_id to) const;
+
+  network_config cfg_;
+  rng rng_;
+  packet_filter filter_;
+  std::vector<std::pair<process_id, process_id>> cut_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace remus::sim

@@ -1,0 +1,102 @@
+#include "storage/file_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace remus::storage {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw error("file_store: " + what + ": " + std::strerror(errno));
+}
+
+void write_synced(const std::filesystem::path& p, const bytes& data, bool do_fsync) {
+  const int fd = ::open(p.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open " + p.string());
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      fail("write " + p.string());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync " + p.string());
+  }
+  ::close(fd);
+}
+
+void sync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort; some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Keys are protocol-chosen identifiers ("writing", "written", ...); escape
+/// anything that is not filename-safe.
+std::string sanitize(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (ok) {
+      out += c;
+    } else {
+      out += '%';
+      out += "0123456789abcdef"[(c >> 4) & 0xf];
+      out += "0123456789abcdef"[c & 0xf];
+    }
+  }
+  return out.empty() ? std::string("%empty") : out;
+}
+
+}  // namespace
+
+file_store::file_store(std::filesystem::path dir, bool fsync_enabled)
+    : dir_(std::move(dir)), fsync_enabled_(fsync_enabled) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path file_store::path_of(std::string_view key) const {
+  return dir_ / sanitize(key);
+}
+
+void file_store::store(std::string_view key, const bytes& record) {
+  const auto target = path_of(key);
+  auto tmp = target;
+  tmp += ".tmp";
+  write_synced(tmp, record, fsync_enabled_);
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) throw error("file_store: rename " + target.string() + ": " + ec.message());
+  if (fsync_enabled_) sync_dir(dir_);
+  ++stores_;
+}
+
+std::optional<bytes> file_store::retrieve(std::string_view key) const {
+  const auto target = path_of(key);
+  std::ifstream in(target, std::ios::binary);
+  if (!in) return std::nullopt;
+  bytes out((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return out;
+}
+
+void file_store::wipe() {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::filesystem::remove_all(entry.path(), ec);
+  }
+}
+
+}  // namespace remus::storage

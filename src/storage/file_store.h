@@ -1,0 +1,39 @@
+// File-backed stable store for the threaded runtime.
+//
+// Mirrors the paper's implementation (section V-A): "storage abstractions are
+// implemented using files written to disk synchronously so that the operating
+// system writes the data to disk immediately instead of buffering". Each key
+// maps to one file in the store's directory; a store() writes a temp file,
+// fsyncs it, and renames it over the old record (atomic on POSIX), then
+// fsyncs the directory.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "storage/stable_store.h"
+
+namespace remus::storage {
+
+class file_store final : public stable_store {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit file_store(std::filesystem::path dir, bool fsync_enabled = true);
+
+  void store(std::string_view key, const bytes& record) override;
+  [[nodiscard]] std::optional<bytes> retrieve(std::string_view key) const override;
+  void wipe() override;
+  [[nodiscard]] std::uint64_t store_count() const override { return stores_; }
+
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_of(std::string_view key) const;
+
+  std::filesystem::path dir_;
+  bool fsync_enabled_;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace remus::storage

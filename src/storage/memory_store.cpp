@@ -1,0 +1,24 @@
+#include "storage/memory_store.h"
+
+namespace remus::storage {
+
+void memory_store::store(std::string_view key, const bytes& record) {
+  records_.insert_or_assign(std::string(key), record);
+  ++stores_;
+}
+
+std::optional<bytes> memory_store::retrieve(std::string_view key) const {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void memory_store::wipe() { records_.clear(); }
+
+std::size_t memory_store::footprint() const {
+  std::size_t total = 0;
+  for (const auto& [k, v] : records_) total += k.size() + v.size();
+  return total;
+}
+
+}  // namespace remus::storage

@@ -1,0 +1,28 @@
+// In-memory stable store used by the simulator: the object outlives the
+// simulated process's crashes, which is exactly what "stable" means there.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/stable_store.h"
+
+namespace remus::storage {
+
+class memory_store final : public stable_store {
+ public:
+  void store(std::string_view key, const bytes& record) override;
+  [[nodiscard]] std::optional<bytes> retrieve(std::string_view key) const override;
+  void wipe() override;
+  [[nodiscard]] std::uint64_t store_count() const override { return stores_; }
+
+  /// Total bytes currently held (diagnostics).
+  [[nodiscard]] std::size_t footprint() const;
+
+ private:
+  std::map<std::string, bytes, std::less<>> records_;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace remus::storage

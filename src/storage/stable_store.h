@@ -1,0 +1,42 @@
+// Stable storage: the paper's `store`/`retrieve` primitives (section II).
+//
+// A stable store survives crashes of its owning process; volatile state does
+// not. Records are keyed byte strings ("writing", "written", "recovered" in
+// Figures 4/5); storing a key overwrites the previous record, exactly like
+// rewriting a fixed file synchronously.
+//
+// Durability timing is owned by the *driver*: in the simulation the disk
+// model decides when an issued store becomes durable (and a crash discards
+// in-flight stores — the conservative model); in the threaded runtime the
+// file store is synchronous (fsync before return). Protocol cores therefore
+// never call `store` directly — they emit log effects — but they do call
+// `retrieve` during recovery.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/value.h"
+
+namespace remus::storage {
+
+class stable_store {
+ public:
+  virtual ~stable_store() = default;
+
+  /// Durably store `record` under `key`, replacing any previous record.
+  virtual void store(std::string_view key, const bytes& record) = 0;
+
+  /// Fetch the last record stored under `key`, if any.
+  [[nodiscard]] virtual std::optional<bytes> retrieve(std::string_view key) const = 0;
+
+  /// Remove every record (fresh process install, not crash recovery).
+  virtual void wipe() = 0;
+
+  /// Number of store() calls served since construction (metrics).
+  [[nodiscard]] virtual std::uint64_t store_count() const = 0;
+};
+
+}  // namespace remus::storage

@@ -1,0 +1,239 @@
+// Chaos-style tests: network partitions, pathological reordering, decoder
+// fuzzing, and long mixed fault/workload soaks — conditions beyond the
+// scripted scenarios, where only the model's guarantees remain.
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "core/cluster.h"
+#include "history/atomicity.h"
+#include "history/tag_order.h"
+#include "proto/message.h"
+#include "proto/policy.h"
+
+namespace remus::core {
+namespace {
+
+// ---------- Partitions (cut links, not crashes) ----------
+
+TEST(Partition, WriterIsolatedFromMajorityStallsThenHeals) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::persistent_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cluster c(cfg);
+  c.write(process_id{0}, value_of_u32(1));
+
+  // Cut p0 off from everyone (both directions).
+  for (std::uint32_t q = 1; q < 5; ++q) {
+    c.network().cut_link(process_id{0}, process_id{q});
+    c.network().cut_link(process_id{q}, process_id{0});
+  }
+  const auto w = c.submit_write(process_id{0}, value_of_u32(2), c.now());
+  c.run_for(100_ms);
+  EXPECT_FALSE(c.result(w).completed);  // no majority reachable
+
+  // Others still serve (p0's listener is unreachable but 4 > majority).
+  EXPECT_EQ(c.read(process_id{2}), value_of_u32(1));
+
+  c.network().restore_all_links();
+  ASSERT_TRUE(c.run_until_idle());
+  EXPECT_TRUE(c.result(w).completed);  // retransmission finished the write
+  EXPECT_EQ(c.read(process_id{3}), value_of_u32(2));
+  const auto verdict = history::check_persistent_atomicity(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(Partition, MinoritySideServesNothingButStaysConsistent) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::transient_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cluster c(cfg);
+  c.write(process_id{0}, value_of_u32(1));
+
+  // Split {0,1} | {2,3,4}: cut all cross links.
+  for (std::uint32_t a : {0u, 1u}) {
+    for (std::uint32_t b : {2u, 3u, 4u}) {
+      c.network().cut_link(process_id{a}, process_id{b});
+      c.network().cut_link(process_id{b}, process_id{a});
+    }
+  }
+  const auto minority_w = c.submit_write(process_id{0}, value_of_u32(2), c.now());
+  const auto majority_w = c.submit_write(process_id{3}, value_of_u32(3), c.now());
+  c.run_for(100_ms);
+  EXPECT_FALSE(c.result(minority_w).completed);
+  EXPECT_TRUE(c.result(majority_w).completed);  // majority side progresses
+
+  c.network().restore_all_links();
+  ASSERT_TRUE(c.run_until_idle());
+  const auto verdict = history::check_transient_atomicity(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << history::to_string(c.events());
+  const auto order = history::check_tag_order(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+}
+
+TEST(Partition, FlappingLinksEventuallyDeliver) {
+  cluster_config cfg;
+  cfg.n = 3;
+  cfg.policy = proto::persistent_policy();
+  cfg.policy.retransmit_delay = 3_ms;
+  cluster c(cfg);
+  // Isolate and reconnect the writer repeatedly while its write runs; the
+  // repeat-until loop must push it through the connected windows.
+  const auto w = c.submit_write(process_id{0}, value_of_u32(7), 0);
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      for (std::uint32_t q = 1; q < 3; ++q) {
+        c.network().cut_link(process_id{0}, process_id{q});
+        c.network().cut_link(process_id{q}, process_id{0});
+      }
+    } else {
+      c.network().restore_all_links();
+    }
+    c.run_for(2_ms);
+  }
+  c.network().restore_all_links();
+  ASSERT_TRUE(c.run_until_idle());
+  EXPECT_TRUE(c.result(w).completed);
+  EXPECT_EQ(c.read(process_id{1}), value_of_u32(7));
+}
+
+// ---------- Extreme reordering ----------
+
+TEST(Reordering, HugeJitterStillLinearizes) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::transient_policy();
+  cfg.policy.retransmit_delay = 20_ms;
+  cfg.net.jitter = 5_ms;  // 50x the base delay: acks arrive wildly reordered
+  cfg.seed = 33;
+  cluster c(cfg);
+  std::uint32_t v = 1;
+  for (int i = 0; i < 10; ++i) {
+    c.submit_write(process_id{static_cast<std::uint32_t>(i) % 5}, value_of_u32(v++),
+                   static_cast<time_ns>(i) * 3_ms);
+    c.submit_read(process_id{(static_cast<std::uint32_t>(i) + 1) % 5},
+                  static_cast<time_ns>(i) * 3_ms + 1_ms);
+  }
+  ASSERT_TRUE(c.run_until_idle());
+  const auto verdict = history::check_transient_atomicity(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << history::to_string(c.events());
+}
+
+TEST(Reordering, DuplicateStormIsHarmless) {
+  cluster_config cfg;
+  cfg.n = 3;
+  cfg.policy = proto::persistent_policy();
+  cfg.net.duplicate_probability = 0.9;  // nearly every message doubled
+  cluster c(cfg);
+  c.write(process_id{0}, value_of_u32(5));
+  EXPECT_EQ(c.read(process_id{1}), value_of_u32(5));
+  const auto verdict = history::check_persistent_atomicity(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+// ---------- Long soak ----------
+
+TEST(Soak, MixedWorkloadFaultsAndLossForSimulatedSeconds) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::transient_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cfg.net.drop_probability = 0.1;
+  cfg.seed = 99;
+  cluster c(cfg);
+  rng r(99);
+
+  std::uint32_t v = 1;
+  const time_ns horizon = 3_s;
+  for (time_ns t = 0; t < horizon; t += 20_ms) {
+    const process_id p{static_cast<std::uint32_t>(r.next_below(5))};
+    if (r.chance(0.6)) {
+      c.submit_write(p, value_of_u32(v++), t + r.next_in(0, 10_ms));
+    } else {
+      c.submit_read(p, t + r.next_in(0, 10_ms));
+    }
+  }
+  sim::random_plan_config fp;
+  fp.n = 5;
+  fp.crashes = 25;
+  fp.horizon = horizon;
+  fp.min_down = 5_ms;
+  fp.max_down = 80_ms;
+  rng fr(7);
+  c.apply(sim::make_random_plan(fp, fr));
+
+  ASSERT_TRUE(c.run_until_idle(80'000'000));
+  const auto h = c.events();
+  const auto verdict = history::check_transient_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto order = history::check_tag_order(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+  EXPECT_GT(c.tagged_operations().size(), 50u);  // the run did real work
+}
+
+}  // namespace
+}  // namespace remus::core
+
+// ---------- Decoder fuzzing ----------
+
+namespace remus::proto {
+namespace {
+
+TEST(Fuzz, DecoderNeverCrashesOnRandomBytes) {
+  rng r(4242);
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < 20000; ++i) {
+    bytes junk(r.next_below(96));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(r.next_u64());
+    try {
+      const message m = decode_message(junk);
+      (void)m;
+      ++ok;
+    } catch (const codec_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 20000);
+  EXPECT_GT(rejected, 15000);  // almost everything random must be rejected
+}
+
+TEST(Fuzz, TruncatedRealMessagesRejectedCleanly) {
+  message m;
+  m.kind = msg_kind::write;
+  m.from = process_id{2};
+  m.op_seq = 7;
+  m.round = 2;
+  m.epoch = 123;
+  m.ts = tag{9, 1, process_id{2}};
+  m.val = value_of_size(64);
+  const bytes wire = encode(m);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    bytes prefix(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_message(prefix), codec_error) << "cut=" << cut;
+  }
+  EXPECT_NO_THROW((void)decode_message(wire));
+}
+
+TEST(Fuzz, BitflippedMessagesEitherParseOrThrow) {
+  message m;
+  m.kind = msg_kind::read_ack;
+  m.from = process_id{1};
+  m.val = value_of_u32(5);
+  const bytes wire = encode(m);
+  rng r(17);
+  for (int i = 0; i < 2000; ++i) {
+    bytes mutated = wire;
+    mutated[r.next_below(mutated.size())] ^= static_cast<std::uint8_t>(1 + r.next_below(255));
+    try {
+      (void)decode_message(mutated);
+    } catch (const codec_error&) {
+      // fine: rejected cleanly
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace remus::proto

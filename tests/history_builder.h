@@ -1,0 +1,52 @@
+// Fluent builder for hand-crafted histories in tests. Times advance by 1 us
+// per event, matching the index-based reasoning in the checkers.
+#pragma once
+
+#include "history/event.h"
+
+namespace remus::history {
+
+class history_builder {
+ public:
+  history_builder& inv_w(std::uint32_t p, std::uint32_t v) {
+    push(event_kind::invoke_write, p, value_of_u32(v));
+    return *this;
+  }
+  history_builder& ret_w(std::uint32_t p) {
+    push(event_kind::reply_write, p, {});
+    return *this;
+  }
+  history_builder& inv_r(std::uint32_t p) {
+    push(event_kind::invoke_read, p, {});
+    return *this;
+  }
+  history_builder& ret_r(std::uint32_t p, std::uint32_t v) {
+    push(event_kind::reply_read, p, value_of_u32(v));
+    return *this;
+  }
+  /// Read that returned the initial value ⊥.
+  history_builder& ret_r_initial(std::uint32_t p) {
+    push(event_kind::reply_read, p, initial_value());
+    return *this;
+  }
+  history_builder& crash(std::uint32_t p) {
+    push(event_kind::crash, p, {});
+    return *this;
+  }
+  history_builder& recover(std::uint32_t p) {
+    push(event_kind::recover, p, {});
+    return *this;
+  }
+
+  [[nodiscard]] const history_log& log() const { return log_; }
+
+ private:
+  void push(event_kind k, std::uint32_t p, value v) {
+    log_.push_back(event{k, process_id{p}, std::move(v),
+                         static_cast<time_ns>(log_.size()) * 1000});
+  }
+
+  history_log log_;
+};
+
+}  // namespace remus::history

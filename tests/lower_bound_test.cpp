@@ -1,0 +1,360 @@
+// The paper's lower bounds as executable demonstrations.
+//
+// Theorem 1: a persistent-atomic write needs 2 causal logs. We run the
+// persistent emulation *without* its writer pre-log (and hence without
+// finish-on-recovery) through an adversarial schedule shaped like run rho1
+// and watch the checker reject the history; the full algorithm sails through
+// the same schedule.
+//
+// Theorem 2: reads must reach stable storage. We run reads whose write-back
+// is volatile-only through a rho4-shaped schedule (read, reader+servers
+// crash, read again) and watch both criteria reject; the real algorithm's
+// logged write-back survives.
+//
+// We also demonstrate the corner case that motivates carrying the recovery
+// counter in the transient emulation's tags (see common/timestamp.h): the
+// literal Figure 5 pseudocode can emit the same [sn, i] for two different
+// values when the post-recovery query majority's maximum regresses
+// (confused-values); reads then flip-flop and transient atomicity breaks.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/cluster.h"
+#include "history/atomicity.h"
+#include "proto/policy.h"
+
+namespace remus::core {
+namespace {
+
+using proto::msg_kind;
+using proto::protocol_policy;
+using sim::filter_verdict;
+using sim::packet_info;
+
+constexpr auto kW = static_cast<std::uint8_t>(msg_kind::write);
+constexpr auto kSnAck = static_cast<std::uint8_t>(msg_kind::sn_ack);
+constexpr auto kReadAck = static_cast<std::uint8_t>(msg_kind::read_ack);
+
+cluster_config scripted_config(protocol_policy pol) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = std::move(pol);
+  // Scripted phases assume no spontaneous retransmissions.
+  cfg.policy.retransmit_delay = 10_s;
+  cfg.seed = 5;
+  return cfg;
+}
+
+bool in(process_id p, std::initializer_list<std::uint32_t> set) {
+  for (const auto x : set) {
+    if (p == process_id{x}) return true;
+  }
+  return false;
+}
+
+/// A read whose round-1 acks are ordered so that `first`'s answer arrives
+/// before everyone else's: the reader's freshest-of-majority choice then
+/// prefers `first` on tag ties.
+void force_ack_order(cluster& c, std::uint32_t first) {
+  c.network().set_filter([first](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kReadAck) {
+      v.deliver_at = pi.now + (pi.from == process_id{first} ? 50_us : 500_us);
+    }
+    return v;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 (persistent writes need the pre-log).
+// ---------------------------------------------------------------------------
+
+/// Runs the rho1-shaped schedule against `pol`; returns the recorded history.
+/// Shape: W(1) completes; W(2) reaches only p3 and the writer crashes;
+/// the writer recovers and W(3) runs against a query majority that excludes
+/// p3; reads then probe p3's and the majority's view.
+history::history_log run_rho1_schedule(protocol_policy pol) {
+  cluster c(scripted_config(std::move(pol)));
+  const process_id w{0};
+
+  // Phase A: W(1) completes everywhere.
+  c.write(w, value_of_u32(1));
+
+  // Phase B: W(2) — round 2 reaches only p3; the writer crashes mid-write.
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kW && pi.from == process_id{0} && pi.to != process_id{3}) v.drop = true;
+    return v;
+  });
+  c.submit_write(w, value_of_u32(2), c.now());
+  c.submit_crash(w, c.now() + 2_ms);
+  c.run_for(3_ms);
+  c.network().clear_filter();
+
+  // Phase C: the writer recovers. (The full algorithm finishes W(2) here —
+  // the flawed one does nothing.)
+  c.submit_recover(w, c.now());
+  c.run_for(10_ms);
+
+  // Phase D: W(3) — the sn-query majority excludes p3 (and p4, so the
+  // crash-lost value at p3 stays invisible); round 2 reaches {p0, p1, p2}.
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kSnAck && in(pi.from, {3, 4})) v.drop = true;
+    if (pi.kind == kW && pi.from == process_id{0} && in(pi.to, {3, 4})) v.drop = true;
+    return v;
+  });
+  c.write(w, value_of_u32(3));
+  c.network().clear_filter();
+  c.run_for(1_ms);
+
+  // Phase E: three reads by p1, steered to surface p3's view, then the
+  // majority's, then p3's again.
+  force_ack_order(c, 3);
+  (void)c.read(process_id{1});
+  force_ack_order(c, 2);
+  (void)c.read(process_id{1});
+  force_ack_order(c, 4);
+  (void)c.read(process_id{1});
+  c.network().clear_filter();
+  c.run_until_idle();
+  return c.events();
+}
+
+TEST(Theorem1, NoPrelogViolatesPersistentAtomicity) {
+  const auto h = run_rho1_schedule(proto::persistent_no_prelog_policy());
+  const auto persistent = history::check_persistent_atomicity(h);
+  EXPECT_FALSE(persistent.ok);
+  EXPECT_FALSE(persistent.usage_error)
+      << "removing the writer pre-log should break persistent atomicity\n"
+      << history::to_string(h);
+}
+
+TEST(Theorem1, NoPrelogEvenBreaksTransientAtomicityViaConfusedValues) {
+  // Without the pre-log *and* without a recovery counter, two incarnations
+  // reuse the same [sn, i]: servers disagree forever and reads flip-flop.
+  const auto h = run_rho1_schedule(proto::persistent_no_prelog_policy());
+  const auto transient = history::check_transient_atomicity(h);
+  EXPECT_FALSE(transient.ok) << history::to_string(h);
+  EXPECT_FALSE(transient.usage_error);
+}
+
+TEST(Theorem1, FullPersistentAlgorithmSurvivesTheSameSchedule) {
+  const auto h = run_rho1_schedule(proto::persistent_policy());
+  const auto persistent = history::check_persistent_atomicity(h);
+  EXPECT_TRUE(persistent.ok) << persistent.explanation << "\n" << history::to_string(h);
+}
+
+TEST(Theorem1, TransientAlgorithmIsTransientButNotNecessarilyPersistent) {
+  // The transient emulation is correct for its own criterion on this
+  // schedule. (Persistent atomicity may or may not hold here — the paper
+  // only guarantees the weaker criterion.)
+  const auto h = run_rho1_schedule(proto::transient_policy());
+  const auto transient = history::check_transient_atomicity(h);
+  EXPECT_TRUE(transient.ok) << transient.explanation << "\n" << history::to_string(h);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 taken literally: confused values across incarnations.
+// ---------------------------------------------------------------------------
+
+/// Schedule forcing the sn-query maximum to regress across the writer's
+/// crash: p3's stalled write plants sn=2 at p2 only; p0's W sees it (sn=3,
+/// reaches only p4), crashes, recovers, and writes again against a majority
+/// whose max is 1 — the literal algorithm re-issues sn = 1 + rec + 1 = 3.
+history::history_log run_sn_regression_schedule(protocol_policy pol) {
+  cluster c(scripted_config(std::move(pol)));
+
+  // Phase A: ground state sn=1 everywhere.
+  c.write(process_id{0}, value_of_u32(1));
+
+  // Phase B: p3 starts W(2); its round-2 W reaches only p2; p3 crashes and
+  // recovers (it must serve later phases, but its own write is gone).
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kW && pi.from == process_id{3} && pi.to != process_id{2}) v.drop = true;
+    return v;
+  });
+  c.submit_write(process_id{3}, value_of_u32(2), c.now());
+  c.submit_crash(process_id{3}, c.now() + 2_ms);
+  c.run_for(3_ms);
+  c.network().clear_filter();
+  c.submit_recover(process_id{3}, c.now());
+  c.run_for(10_ms);
+
+  // Phase C: p0 writes 3; the query majority includes p2 (max=2 -> sn=3);
+  // round 2 reaches only p4; p0 crashes and recovers.
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kSnAck && in(pi.from, {1, 4})) v.drop = true;
+    if (pi.kind == kW && pi.from == process_id{0} && pi.to != process_id{4}) v.drop = true;
+    return v;
+  });
+  c.submit_write(process_id{0}, value_of_u32(3), c.now());
+  c.submit_crash(process_id{0}, c.now() + 2_ms);
+  c.run_for(3_ms);
+  c.network().clear_filter();
+  c.submit_recover(process_id{0}, c.now());
+  c.run_for(10_ms);
+
+  // Phase D: p0 writes 4; the query majority {p0, p1, p3} has max sn=1, so
+  // the literal transient algorithm picks sn = 1 + rec(1) + 1 = 3 — the same
+  // sn it used for value 3. Round 2 reaches {p0, p1, p3}.
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kSnAck && in(pi.from, {2, 4})) v.drop = true;
+    if (pi.kind == kW && pi.from == process_id{0} && in(pi.to, {2, 4})) v.drop = true;
+    return v;
+  });
+  c.write(process_id{0}, value_of_u32(4));
+  c.network().clear_filter();
+  c.run_for(1_ms);
+
+  // Phase E: reads by p1 probing p4's copy, then p1's own, then p4's again.
+  force_ack_order(c, 4);
+  (void)c.read(process_id{1});
+  force_ack_order(c, 1);
+  (void)c.read(process_id{1});
+  force_ack_order(c, 4);
+  (void)c.read(process_id{1});
+  c.network().clear_filter();
+  c.run_until_idle();
+  return c.events();
+}
+
+TEST(TransientLiteral, SnRegressionConfusesValuesAndBreaksTransientAtomicity) {
+  const auto h = run_sn_regression_schedule(proto::transient_literal_policy());
+  const auto verdict = history::check_transient_atomicity(h);
+  EXPECT_FALSE(verdict.ok)
+      << "the literal Fig. 5 should emit colliding [sn, i] tags here\n"
+      << history::to_string(h);
+}
+
+TEST(TransientLiteral, RecInTagRestoresTransientAtomicity) {
+  const auto h = run_sn_regression_schedule(proto::transient_policy());
+  const auto verdict = history::check_transient_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << history::to_string(h);
+}
+
+TEST(TransientLiteral, PersistentAlgorithmUnaffectedBySnRegression) {
+  // The pre-log + finish-on-recovery make the second incarnation's query see
+  // the first incarnation's sn, so no collision is possible.
+  const auto h = run_sn_regression_schedule(proto::persistent_policy());
+  const auto verdict = history::check_persistent_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << history::to_string(h);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2 (reads must reach stable storage).
+// ---------------------------------------------------------------------------
+
+/// rho4-shaped schedule: W(2) reaches only p3 and its writer goes silent;
+/// p1 reads (sees 2 via p3), then p1/p2/p4 crash and recover (volatile state
+/// gone); p1 reads again through a majority that excludes p3.
+history::history_log run_rho4_schedule(protocol_policy pol) {
+  cluster c(scripted_config(std::move(pol)));
+
+  c.write(process_id{0}, value_of_u32(1));
+
+  // W(2) lands only at p3; the writer crashes and stays down (it is simply
+  // "not correct"; a majority of others remains).
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kW && pi.from == process_id{0} && pi.to != process_id{3}) v.drop = true;
+    return v;
+  });
+  c.submit_write(process_id{0}, value_of_u32(2), c.now());
+  c.submit_crash(process_id{0}, c.now() + 2_ms);
+  c.run_for(3_ms);
+  c.network().clear_filter();
+
+  // R1 by p1: p3 answers first -> returns 2; the write-back propagates 2
+  // (durably for the real algorithm, volatile-only for the flawed one).
+  force_ack_order(c, 3);
+  (void)c.read(process_id{1});
+  c.network().clear_filter();
+
+  // p1, p2 and p4 crash and recover: volatile memory is wiped.
+  for (const std::uint32_t p : {1u, 2u, 4u}) c.submit_crash(process_id{p}, c.now());
+  for (const std::uint32_t p : {1u, 2u, 4u}) {
+    c.submit_recover(process_id{p}, c.now() + 5_ms);
+  }
+  c.run_for(30_ms);
+
+  // R2 by p1 through {p1, p2, p4} (p3's answer suppressed).
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kReadAck && pi.from == process_id{3}) v.drop = true;
+    return v;
+  });
+  (void)c.read(process_id{1});
+  c.network().clear_filter();
+  c.run_until_idle();
+  return c.events();
+}
+
+TEST(Theorem2, VolatileWritebackViolatesBothCriteria) {
+  const auto h = run_rho4_schedule(proto::read_volatile_writeback_policy());
+  EXPECT_FALSE(history::check_transient_atomicity(h).ok) << history::to_string(h);
+  EXPECT_FALSE(history::check_persistent_atomicity(h).ok);
+}
+
+TEST(Theorem2, LoggedWritebackSurvivesTheSameSchedule) {
+  const auto h = run_rho4_schedule(proto::persistent_policy());
+  const auto verdict = history::check_persistent_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << history::to_string(h);
+}
+
+TEST(Theorem2, TransientAlgorithmAlsoSurvives) {
+  const auto h = run_rho4_schedule(proto::transient_policy());
+  const auto verdict = history::check_transient_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << history::to_string(h);
+}
+
+// ---------------------------------------------------------------------------
+// No write-back at all: broken even without any crash.
+// ---------------------------------------------------------------------------
+
+history::history_log run_new_old_inversion(protocol_policy pol) {
+  cluster c(scripted_config(std::move(pol)));
+  c.write(process_id{0}, value_of_u32(1));
+
+  // W(2) reaches only p3 and stalls (writer crashes silently afterwards).
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kW && pi.from == process_id{0} && pi.to != process_id{3}) v.drop = true;
+    return v;
+  });
+  c.submit_write(process_id{0}, value_of_u32(2), c.now());
+  c.submit_crash(process_id{0}, c.now() + 2_ms);
+  c.run_for(3_ms);
+  c.network().clear_filter();
+
+  // R1 by p1 sees p3 first -> 2. R2 by p2 never hears p3 -> ?
+  force_ack_order(c, 3);
+  (void)c.read(process_id{1});
+  c.network().set_filter([](const packet_info& pi) {
+    filter_verdict v;
+    if (pi.kind == kReadAck && pi.from == process_id{3}) v.drop = true;
+    return v;
+  });
+  (void)c.read(process_id{2});
+  c.network().clear_filter();
+  c.run_until_idle();
+  return c.events();
+}
+
+TEST(NoWriteback, NewOldInversionEvenWithoutCrashes) {
+  const auto h = run_new_old_inversion(proto::read_no_writeback_policy());
+  EXPECT_FALSE(history::check_persistent_atomicity(h).ok) << history::to_string(h);
+}
+
+TEST(NoWriteback, WritebackPreventsTheInversion) {
+  const auto h = run_new_old_inversion(proto::persistent_policy());
+  const auto verdict = history::check_persistent_atomicity(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << history::to_string(h);
+}
+
+}  // namespace
+}  // namespace remus::core

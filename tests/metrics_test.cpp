@@ -1,0 +1,116 @@
+// Unit tests for the metrics substrate: summary statistics, op collection,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include "metrics/op_metrics.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace remus::metrics {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(Summary, PercentilesNearestRank) {
+  summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(Summary, PercentileAfterLateAdd) {
+  summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 10.0);
+  s.add(20);  // invalidates the sorted cache
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(Summary, MergeCombinesSamples) {
+  summary a, b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Summary, DescribeMentionsCountAndUnit) {
+  summary s;
+  s.add(1.5);
+  const auto d = s.describe("ms");
+  EXPECT_NE(d.find("n=1"), std::string::npos);
+  EXPECT_NE(d.find("ms"), std::string::npos);
+}
+
+TEST(OpCollector, SplitsReadsAndWrites) {
+  op_collector col;
+  op_sample w;
+  w.is_read = false;
+  w.latency = 1000 * 1000;  // 1 ms
+  w.causal_logs = 2;
+  col.add(w);
+  op_sample r;
+  r.is_read = true;
+  r.latency = 500 * 1000;
+  r.causal_logs = 0;
+  col.add(r);
+
+  EXPECT_EQ(col.write_latency_us().count(), 1u);
+  EXPECT_DOUBLE_EQ(col.write_latency_us().mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(col.write_causal_logs().mean(), 2.0);
+  EXPECT_EQ(col.read_latency_us().count(), 1u);
+  EXPECT_DOUBLE_EQ(col.read_latency_us().mean(), 500.0);
+  const auto d = col.describe();
+  EXPECT_NE(d.find("writes"), std::string::npos);
+  EXPECT_NE(d.find("reads"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedMarkdown) {
+  table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(table::num(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace remus::metrics

@@ -1,0 +1,167 @@
+// Tests for the threaded real-time runtime: the same protocol cores driven
+// by actual threads, an in-process datagram transport, and (optionally)
+// fsync'd file stores — the shape of the paper's C/UDP implementation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "common/error.h"
+#include "history/atomicity.h"
+#include "runtime/service.h"
+
+namespace remus::runtime {
+namespace {
+
+service_options fast_options(proto::protocol_policy pol, std::uint32_t n = 3) {
+  service_options opt;
+  opt.n = n;
+  opt.policy = std::move(pol);
+  opt.node.retransmit_check = 5 * 1000 * 1000;            // 5 ms
+  opt.node.op_timeout = 20ll * 1000 * 1000 * 1000;        // generous CI margin
+  return opt;
+}
+
+TEST(Transport, DeliversToAttachedHandlers) {
+  transport t;
+  std::atomic<int> got{0};
+  t.attach(process_id{0}, [&](const proto::message&) { got += 1; });
+  proto::message m;
+  m.kind = proto::msg_kind::sn_query;
+  m.from = process_id{1};
+  t.send(process_id{0}, m);
+  t.broadcast(2, m);  // one copy to p0, one dropped at unattached p1
+  for (int i = 0; i < 200 && got < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got.load(), 2);
+  EXPECT_EQ(t.datagrams_sent(), 3u);
+  EXPECT_EQ(t.datagrams_dropped(), 1u);
+}
+
+TEST(Transport, DetachedNodeLosesTraffic) {
+  transport t;
+  std::atomic<int> got{0};
+  t.attach(process_id{0}, [&](const proto::message&) { got += 1; });
+  t.detach(process_id{0});
+  proto::message m;
+  m.kind = proto::msg_kind::sn_query;
+  m.from = process_id{1};
+  t.send(process_id{0}, m);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+}
+
+class RuntimePolicies : public ::testing::TestWithParam<const char*> {
+ protected:
+  static proto::protocol_policy policy() {
+    const std::string name = GetParam();
+    if (name == "crash_stop") return proto::crash_stop_policy();
+    if (name == "persistent") return proto::persistent_policy();
+    return proto::transient_policy();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, RuntimePolicies,
+                         ::testing::Values("crash_stop", "persistent", "transient"));
+
+TEST_P(RuntimePolicies, WriteThenReadEverywhere) {
+  service s(fast_options(policy()));
+  s.write(process_id{0}, value_of_u32(7));
+  for (std::uint32_t p = 0; p < s.size(); ++p) {
+    EXPECT_EQ(s.read(process_id{p}), value_of_u32(7));
+  }
+  const auto verdict = history::check_persistent_atomicity(s.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST_P(RuntimePolicies, ConcurrentClientsStayAtomic) {
+  service s(fast_options(policy(), 5));
+  std::vector<std::thread> clients;
+  std::atomic<std::uint32_t> next{1};
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    clients.emplace_back([&, p] {
+      for (int i = 0; i < 10; ++i) {
+        if ((i + p) % 2 == 0) {
+          s.write(process_id{p}, value_of_u32(next.fetch_add(1)));
+        } else {
+          (void)s.read(process_id{p});
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  const auto verdict = history::check_persistent_atomicity(s.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(RuntimeCrashRecovery, ValueSurvivesCrashOfAdopters) {
+  service s(fast_options(proto::persistent_policy()));
+  s.write(process_id{0}, value_of_u32(5));
+  s.crash(process_id{2});
+  s.recover(process_id{2});
+  EXPECT_EQ(s.read(process_id{2}), value_of_u32(5));
+  const auto verdict = history::check_persistent_atomicity(s.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(RuntimeCrashRecovery, TransientCounterAdvances) {
+  service s(fast_options(proto::transient_policy()));
+  s.write(process_id{0}, value_of_u32(1));
+  s.crash(process_id{0});
+  s.recover(process_id{0});
+  s.crash(process_id{0});
+  s.recover(process_id{0});
+  s.write(process_id{0}, value_of_u32(2));
+  EXPECT_EQ(s.read(process_id{1}), value_of_u32(2));
+  const auto verdict = history::check_transient_atomicity(s.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(RuntimeCrashRecovery, CrashedNodeRejectsOps) {
+  service s(fast_options(proto::persistent_policy()));
+  s.crash(process_id{1});
+  EXPECT_THROW(s.read(process_id{1}), precondition_error);
+  EXPECT_THROW(s.write(process_id{1}, value_of_u32(1)), precondition_error);
+  s.recover(process_id{1});
+  EXPECT_NO_THROW((void)s.read(process_id{1}));
+}
+
+TEST(RuntimeCrashRecovery, MinorityCrashDoesNotBlockOthers) {
+  service s(fast_options(proto::persistent_policy()));
+  s.crash(process_id{2});
+  s.write(process_id{0}, value_of_u32(3));
+  EXPECT_EQ(s.read(process_id{1}), value_of_u32(3));
+}
+
+TEST(RuntimeLossyTransport, RetransmissionMakesProgress) {
+  service_options opt = fast_options(proto::persistent_policy());
+  opt.net.drop_probability = 0.3;
+  opt.node.retransmit_check = 2 * 1000 * 1000;  // 2 ms
+  service s(std::move(opt));
+  s.write(process_id{0}, value_of_u32(9));
+  EXPECT_EQ(s.read(process_id{1}), value_of_u32(9));
+}
+
+TEST(RuntimeDurableFiles, StateSurvivesOnDisk) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("remus_rt_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  {
+    service_options opt = fast_options(proto::persistent_policy());
+    opt.durable_dir = dir;
+    service s(std::move(opt));
+    s.write(process_id{0}, value_of_u32(77));
+    s.crash(process_id{1});
+    s.recover(process_id{1});
+    EXPECT_EQ(s.read(process_id{1}), value_of_u32(77));
+  }
+  // The (written) records really are files on disk.
+  EXPECT_TRUE(std::filesystem::exists(dir / "0" / "written"));
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace remus::runtime

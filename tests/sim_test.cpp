@@ -1,0 +1,270 @@
+// Unit tests for the simulation substrate: event queue, network model,
+// disk model, fault plans.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/disk_model.h"
+#include "sim/event_queue.h"
+#include "sim/fault_plan.h"
+#include "sim/network_model.h"
+
+namespace remus::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesRunInScheduleOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(5, [&] { order.push_back(2); });
+  q.schedule_at(5, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  event_queue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), driver_error);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  event_queue q;
+  int hits = 0;
+  q.schedule_at(1, [&] {
+    ++hits;
+    q.schedule_after(1, [&] { ++hits; });
+  });
+  q.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(q.now(), 2);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  event_queue q;
+  int hits = 0;
+  const auto t = q.schedule_at(5, [&] { ++hits; });
+  EXPECT_TRUE(q.cancel(t));
+  EXPECT_FALSE(q.cancel(t));  // double-cancel reports failure
+  q.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  event_queue q;
+  int hits = 0;
+  q.schedule_at(10, [&] { ++hits; });
+  q.schedule_at(20, [&] { ++hits; });
+  q.run_until(15);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(q.now(), 15);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, RunWithLimitStops) {
+  event_queue q;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [] {});
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(NetworkModel, ChargesBaseDelayAndSerialization) {
+  network_config cfg;
+  cfg.base_delay = 100'000;
+  cfg.jitter = 0;
+  cfg.bandwidth_bps = 1'000'000;  // 1 MB/s => 1000 bytes take 1 ms
+  network_model net(cfg, rng(1));
+  const auto ds = net.route(0, process_id{0}, {process_id{1}}, 1000, 0, 1, 1);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].deliver_at, 100'000 + 1'000'000);
+}
+
+TEST(NetworkModel, MulticastSerializedOnce) {
+  network_config cfg;
+  cfg.base_delay = 100'000;
+  cfg.jitter = 0;
+  cfg.bandwidth_bps = 1'000'000;
+  network_model net(cfg, rng(1));
+  const auto ds = net.route(0, process_id{0},
+                            {process_id{1}, process_id{2}, process_id{3}}, 1000, 0, 1, 1);
+  ASSERT_EQ(ds.size(), 3u);
+  for (const auto& d : ds) EXPECT_EQ(d.deliver_at, 1'100'000);  // not 3x
+}
+
+TEST(NetworkModel, LoopbackIsFast) {
+  network_config cfg;
+  cfg.base_delay = 100'000;
+  cfg.jitter = 0;
+  cfg.loopback_delay = 10'000;
+  network_model net(cfg, rng(1));
+  const auto ds = net.route(0, process_id{2}, {process_id{2}}, 8, 0, 1, 1);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].deliver_at, 10'000);
+}
+
+TEST(NetworkModel, DropsAreFairLossy) {
+  network_config cfg;
+  cfg.drop_probability = 0.5;
+  cfg.jitter = 0;
+  network_model net(cfg, rng(7));
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    delivered += static_cast<int>(
+        net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size());
+  }
+  EXPECT_GT(delivered, 800);  // not all dropped
+  EXPECT_LT(delivered, 1200);  // roughly half
+}
+
+TEST(NetworkModel, DuplicatesHappen) {
+  network_config cfg;
+  cfg.duplicate_probability = 0.5;
+  cfg.jitter = 0;
+  network_model net(cfg, rng(7));
+  std::size_t copies = 0;
+  for (int i = 0; i < 1000; ++i) {
+    copies += net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size();
+  }
+  EXPECT_GT(copies, 1300u);
+  EXPECT_LT(copies, 1700u);
+}
+
+TEST(NetworkModel, CutLinkDropsEverything) {
+  network_config cfg;
+  cfg.jitter = 0;
+  network_model net(cfg, rng(1));
+  net.cut_link(process_id{0}, process_id{1});
+  EXPECT_TRUE(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).empty());
+  // Reverse direction unaffected.
+  EXPECT_EQ(net.route(0, process_id{1}, {process_id{0}}, 8, 0, 1, 1).size(), 1u);
+  net.restore_link(process_id{0}, process_id{1});
+  EXPECT_EQ(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size(), 1u);
+}
+
+TEST(NetworkModel, FilterControlsDeliveries) {
+  network_config cfg;
+  cfg.jitter = 0;
+  cfg.base_delay = 100;
+  network_model net(cfg, rng(1));
+  net.set_filter([](const packet_info& p) {
+    filter_verdict v;
+    if (p.to == process_id{1}) v.drop = true;
+    if (p.to == process_id{2}) v.deliver_at = 999;
+    return v;
+  });
+  const auto ds = net.route(0, process_id{0},
+                            {process_id{1}, process_id{2}, process_id{3}}, 8, 0, 1, 1);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].to, process_id{2});
+  EXPECT_EQ(ds[0].deliver_at, 999);
+  EXPECT_EQ(ds[1].to, process_id{3});
+  EXPECT_EQ(ds[1].deliver_at, 100 + 8 * 80);  // model-chosen
+  net.clear_filter();
+  EXPECT_EQ(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size(), 1u);
+}
+
+TEST(DiskModel, ChargesLatencyPlusBandwidth) {
+  disk_config cfg;
+  cfg.base_latency = 200'000;
+  cfg.bandwidth_bps = 1'000'000;  // 1 MB/s
+  disk_model d(cfg);
+  EXPECT_EQ(d.issue(0, 0), 200'000);
+  EXPECT_EQ(d.issue(1'000'000, 1000), 1'000'000 + 200'000 + 1'000'000);
+}
+
+TEST(DiskModel, OverlappingRequestsQueueFifo) {
+  disk_config cfg;
+  cfg.base_latency = 100;
+  cfg.bandwidth_bps = 0;
+  disk_model d(cfg);
+  EXPECT_EQ(d.issue(0, 8), 100);
+  EXPECT_EQ(d.issue(0, 8), 200);  // second waits for the first
+  EXPECT_EQ(d.issue(50, 8), 300);
+  EXPECT_EQ(d.issue(1000, 8), 1100);  // idle gap resets
+}
+
+TEST(FaultPlan, WellFormedAlternation) {
+  fault_plan p;
+  p.add_crash(10, process_id{0});
+  p.add_recover(20, process_id{0});
+  p.add_crash(30, process_id{0});
+  p.add_recover(40, process_id{0});
+  p.sort();
+  EXPECT_TRUE(p.well_formed(3));
+  EXPECT_TRUE(p.all_up_eventually(3));
+}
+
+TEST(FaultPlan, DetectsDoubleCrash) {
+  fault_plan p;
+  p.add_crash(10, process_id{0});
+  p.add_crash(20, process_id{0});
+  p.sort();
+  EXPECT_FALSE(p.well_formed(3));
+}
+
+TEST(FaultPlan, DetectsEndStateDown) {
+  fault_plan p;
+  p.add_crash(10, process_id{1});
+  p.sort();
+  EXPECT_TRUE(p.well_formed(3));
+  EXPECT_FALSE(p.all_up_eventually(3));
+}
+
+TEST(FaultPlan, RandomPlansAreWellFormed) {
+  rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    random_plan_config cfg;
+    cfg.n = 5;
+    cfg.crashes = 6;
+    cfg.horizon = 1'000'000;
+    cfg.min_down = 1000;
+    cfg.max_down = 100'000;
+    const fault_plan p = make_random_plan(cfg, r);
+    EXPECT_TRUE(p.well_formed(cfg.n));
+    EXPECT_TRUE(p.all_up_eventually(cfg.n));
+  }
+}
+
+TEST(FaultPlan, MinorityOnlyPlansKeepMajorityUp) {
+  rng r(3);
+  random_plan_config cfg;
+  cfg.n = 5;
+  cfg.crashes = 30;
+  cfg.horizon = 1'000'000;
+  cfg.min_down = 50'000;
+  cfg.max_down = 200'000;
+  cfg.allow_majority_crash = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const fault_plan p = make_random_plan(cfg, r);
+    // Replay: at no instant may 3+ of 5 be down.
+    std::vector<bool> down(cfg.n, false);
+    for (const auto& e : p.events) {
+      down[e.target.index] = (e.kind == fault_kind::crash);
+      EXPECT_LE(std::count(down.begin(), down.end(), true), 2);
+    }
+  }
+}
+
+TEST(FaultPlan, BlackoutCrashesEveryone) {
+  const fault_plan p = make_blackout_plan(4, 100, 50);
+  EXPECT_TRUE(p.well_formed(4));
+  EXPECT_TRUE(p.all_up_eventually(4));
+  EXPECT_EQ(p.events.size(), 8u);
+}
+
+}  // namespace
+}  // namespace remus::sim

@@ -1,0 +1,125 @@
+// Unit tests for stable storage backends.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/value.h"
+#include "storage/file_store.h"
+#include "storage/memory_store.h"
+
+namespace remus::storage {
+namespace {
+
+bytes b(std::initializer_list<std::uint8_t> xs) { return bytes(xs); }
+
+template <typename Store>
+void exercise_basic(Store& st) {
+  EXPECT_FALSE(st.retrieve("written").has_value());
+  st.store("written", b({1, 2, 3}));
+  ASSERT_TRUE(st.retrieve("written").has_value());
+  EXPECT_EQ(*st.retrieve("written"), b({1, 2, 3}));
+  // Overwrite in place (records replace their predecessor).
+  st.store("written", b({9}));
+  EXPECT_EQ(*st.retrieve("written"), b({9}));
+  // Independent keys.
+  st.store("writing", b({4, 5}));
+  EXPECT_EQ(*st.retrieve("writing"), b({4, 5}));
+  EXPECT_EQ(*st.retrieve("written"), b({9}));
+  EXPECT_EQ(st.store_count(), 3u);
+}
+
+TEST(MemoryStore, BasicRoundTrip) {
+  memory_store st;
+  exercise_basic(st);
+}
+
+TEST(MemoryStore, WipeClearsRecords) {
+  memory_store st;
+  st.store("a", b({1}));
+  st.wipe();
+  EXPECT_FALSE(st.retrieve("a").has_value());
+}
+
+TEST(MemoryStore, FootprintTracksContent) {
+  memory_store st;
+  EXPECT_EQ(st.footprint(), 0u);
+  st.store("ab", b({1, 2, 3}));
+  EXPECT_EQ(st.footprint(), 5u);
+}
+
+TEST(MemoryStore, EmptyRecordAllowed) {
+  memory_store st;
+  st.store("k", {});
+  ASSERT_TRUE(st.retrieve("k").has_value());
+  EXPECT_TRUE(st.retrieve("k")->empty());
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("remus_fs_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(FileStoreTest, BasicRoundTrip) {
+  file_store st(dir_, /*fsync_enabled=*/false);
+  exercise_basic(st);
+}
+
+TEST_F(FileStoreTest, SurvivesReopen) {
+  {
+    file_store st(dir_, false);
+    st.store("written", b({7, 7, 7}));
+  }
+  file_store st2(dir_, false);
+  ASSERT_TRUE(st2.retrieve("written").has_value());
+  EXPECT_EQ(*st2.retrieve("written"), b({7, 7, 7}));
+}
+
+TEST_F(FileStoreTest, FsyncPathWorks) {
+  file_store st(dir_, true);
+  st.store("written", b({1}));
+  EXPECT_EQ(*st.retrieve("written"), b({1}));
+}
+
+TEST_F(FileStoreTest, SanitizesHostileKeys) {
+  file_store st(dir_, false);
+  st.store("../../etc/passwd", b({1}));
+  st.store("a/b\\c d", b({2}));
+  st.store("", b({3}));
+  EXPECT_EQ(*st.retrieve("../../etc/passwd"), b({1}));
+  EXPECT_EQ(*st.retrieve("a/b\\c d"), b({2}));
+  EXPECT_EQ(*st.retrieve(""), b({3}));
+  // Nothing escaped the directory.
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(e.path().parent_path(), dir_);
+  }
+}
+
+TEST_F(FileStoreTest, WipeRemovesFiles) {
+  file_store st(dir_, false);
+  st.store("a", b({1}));
+  st.store("b", b({2}));
+  st.wipe();
+  EXPECT_FALSE(st.retrieve("a").has_value());
+  EXPECT_FALSE(st.retrieve("b").has_value());
+}
+
+TEST_F(FileStoreTest, LargeRecordRoundTrip) {
+  file_store st(dir_, false);
+  const value big = value_of_size(64 * 1024);
+  st.store("written", big.data);
+  EXPECT_EQ(*st.retrieve("written"), big.data);
+}
+
+}  // namespace
+}  // namespace remus::storage

@@ -1,0 +1,115 @@
+// Parameterized sweeps over cluster size x algorithm: correctness must hold
+// for any n >= 1 (majority = floor(n/2)+1), including even sizes, not just
+// the odd LAN sizes of the paper's evaluation.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "history/atomicity.h"
+#include "history/tag_order.h"
+#include "proto/policy.h"
+
+namespace remus::core {
+namespace {
+
+struct sweep_params {
+  std::uint32_t n;
+  const char* policy;
+};
+
+class SizeSweep : public ::testing::TestWithParam<sweep_params> {
+ protected:
+  static proto::protocol_policy policy() {
+    const std::string name = GetParam().policy;
+    if (name == "crash_stop") return proto::crash_stop_policy();
+    if (name == "persistent") return proto::persistent_policy();
+    return proto::transient_policy();
+  }
+  static cluster_config config() {
+    cluster_config cfg;
+    cfg.n = GetParam().n;
+    cfg.policy = policy();
+    cfg.seed = 17 + GetParam().n;
+    return cfg;
+  }
+};
+
+TEST_P(SizeSweep, QuorumSizeIsFloorHalfPlusOne) {
+  cluster c(config());
+  EXPECT_EQ(c.core_of(process_id{0}).quorum_size(), GetParam().n / 2 + 1);
+}
+
+TEST_P(SizeSweep, WriteReadRoundTrip) {
+  cluster c(config());
+  c.write(process_id{0}, value_of_u32(11));
+  for (std::uint32_t p = 0; p < c.size(); ++p) {
+    EXPECT_EQ(c.read(process_id{p}), value_of_u32(11));
+  }
+}
+
+TEST_P(SizeSweep, ToleratesLargestMinorityCrash) {
+  cluster c(config());
+  const std::uint32_t can_lose = GetParam().n - (GetParam().n / 2 + 1);
+  for (std::uint32_t i = 0; i < can_lose; ++i) {
+    c.submit_crash(process_id{GetParam().n - 1 - i}, 0);
+  }
+  c.run_for(1_ms);
+  c.write(process_id{0}, value_of_u32(5));
+  EXPECT_EQ(c.read(process_id{0}), value_of_u32(5));
+}
+
+TEST_P(SizeSweep, StallsWhenMajorityDown) {
+  if (GetParam().n == 1) GTEST_SKIP() << "n=1 has no crashable majority with a live client";
+  cluster c(config());
+  const std::uint32_t majority = GetParam().n / 2 + 1;
+  for (std::uint32_t i = 0; i < majority; ++i) {
+    c.submit_crash(process_id{GetParam().n - 1 - i}, 0);
+  }
+  c.run_for(1_ms);
+  const auto w = c.submit_write(process_id{0}, value_of_u32(5), c.now());
+  c.run_for(150_ms);
+  EXPECT_FALSE(c.result(w).completed);
+}
+
+TEST_P(SizeSweep, MixedWorkloadStaysAtomicAndTagOrdered) {
+  cluster c(config());
+  std::uint32_t v = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t p = 0; p < c.size(); ++p) {
+      c.submit_write(process_id{p}, value_of_u32(v++), c.now());
+      c.submit_read(process_id{(p + 1) % c.size()}, c.now());
+    }
+    ASSERT_TRUE(c.run_until_idle());
+  }
+  const auto verdict = history::check_persistent_atomicity(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto order = history::check_tag_order(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+}
+
+TEST_P(SizeSweep, BlackoutRecoveryWhereApplicable) {
+  if (policy().crash_stop) GTEST_SKIP() << "no recovery in the crash-stop model";
+  cluster c(config());
+  c.write(process_id{0}, value_of_u32(3));
+  c.apply(sim::make_blackout_plan(c.size(), c.now() + 1_ms, 5_ms));
+  ASSERT_TRUE(c.run_until_idle());
+  EXPECT_EQ(c.read(process_id{c.size() - 1}), value_of_u32(3));
+}
+
+std::vector<sweep_params> sweep_grid() {
+  std::vector<sweep_params> grid;
+  for (const std::uint32_t n : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 12u}) {
+    for (const char* pol : {"crash_stop", "persistent", "transient"}) {
+      grid.push_back({n, pol});
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep, ::testing::ValuesIn(sweep_grid()),
+                         [](const auto& info) {
+                           return std::string("n") + std::to_string(info.param.n) + "_" +
+                                  info.param.policy;
+                         });
+
+}  // namespace
+}  // namespace remus::core
