@@ -10,7 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/cluster.h"
@@ -20,6 +24,84 @@
 #include "proto/policy.h"
 
 namespace remus::bench {
+
+// ---- Machine-readable results ------------------------------------------------
+//
+// Every bench binary can emit its headline numbers as a flat JSON object so
+// the perf trajectory is trackable across PRs (`BENCH_<name>.json`). Pass
+// `--json` to write the default file or `--json=PATH` to choose the location.
+
+class json_report {
+ public:
+  explicit json_report(std::string name) : name_(std::move(name)) {}
+
+  void set(std::string key, double v) {
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    entries_.emplace_back(std::move(key), buf);
+  }
+
+  void set(std::string key, std::string_view v) {
+    std::string quoted = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(std::move(key), std::move(quoted));
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+    for (const auto& [k, v] : entries_) out += ",\n  \"" + k + "\": " + v;
+    out += "\n}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << render();
+    return static_cast<bool>(f);
+  }
+
+  /// Honors `--json` / `--json=PATH` on the command line; returns true if a
+  /// file was written (default path: BENCH_<name>.json in the working dir).
+  /// An unwritable path is reported on stderr rather than ignored.
+  bool write_if_requested(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      std::string path;
+      if (arg == "--json") {
+        path = "BENCH_" + name_ + ".json";
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path = std::string(arg.substr(7));
+      } else {
+        continue;
+      }
+      if (write(path)) return true;
+      std::fprintf(stderr, "warning: could not write bench results to %s\n",
+                   path.c_str());
+      return false;
+    }
+    return false;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> literal
+};
+
+[[nodiscard]] inline bool flag_present(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
 
 /// Configuration mirroring the paper's testbed (section V-A).
 inline core::cluster_config paper_testbed(proto::protocol_policy pol, std::uint32_t n,

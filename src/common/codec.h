@@ -22,6 +22,10 @@ class byte_writer {
   byte_writer() = default;
   explicit byte_writer(bytes initial) : buf_(std::move(initial)) {}
 
+  /// Pre-size the buffer (hot encoders know their exact wire size).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  void clear() noexcept { buf_.clear(); }
+
   void put_u8(std::uint8_t x) { buf_.push_back(x); }
   void put_u32(std::uint32_t x);
   void put_u64(std::uint64_t x);

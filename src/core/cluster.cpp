@@ -7,17 +7,17 @@
 
 namespace remus::core {
 
-namespace {
-constexpr std::uint64_t no_incarnation_check = ~0ULL;
-}  // namespace
-
 cluster::cluster(cluster_config cfg)
     : cfg_(std::move(cfg)), net_(cfg_.net, rng(cfg_.seed ^ 0x6e657477ULL)),
       rng_(cfg_.seed) {
   if (cfg_.n == 0) throw driver_error("cluster: n must be >= 1");
   if (!cfg_.policy.coherent()) throw driver_error("cluster: incoherent policy");
+  queue_.set_executor(this);
   nodes_.reserve(cfg_.n);
+  all_processes_.reserve(cfg_.n);
+  unicast_to_.resize(1);
   for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    all_processes_.push_back(process_id{i});
     auto nd = std::make_unique<node>(cfg_.disk);
     nd->store = std::make_unique<storage::memory_store>();
     nd->core = std::make_unique<proto::quorum_core>(cfg_.policy, process_id{i}, cfg_.n,
@@ -43,6 +43,18 @@ cluster::context& cluster::ctx_of(node& nd, proto::exec_context c) {
   return c == proto::exec_context::client ? nd.client_ctx : nd.listener_ctx;
 }
 
+proto::outputs& cluster::acquire_outputs() {
+  if (outputs_depth_ == outputs_slabs_.size()) {
+    outputs_slabs_.push_back(std::make_unique<proto::outputs>());
+  }
+  return *outputs_slabs_[outputs_depth_++];
+}
+
+void cluster::release_outputs(proto::outputs& out) {
+  out.clear();  // keeps buffer capacity; the next lease reuses it
+  --outputs_depth_;
+}
+
 bool cluster::is_ready(process_id p) const {
   const node& nd = node_at(p);
   return nd.up && nd.core->ready();
@@ -64,18 +76,10 @@ cluster::op_handle cluster::submit_write(process_id p, value v, time_ns at) {
   r.submitted = true;
   r.is_read = false;
   r.p = p;
-  r.v = v;
+  r.v = std::move(v);
   results_.push_back(std::move(r));
   const op_handle h = results_.size() - 1;
-  queue_.schedule_at(std::max(at, now()), [this, p, h] {
-    node& nd = node_at(p);
-    pending_invocation inv;
-    inv.handle = h;
-    inv.is_read = false;
-    inv.v = results_[h].v;
-    nd.op_queue.push_back(std::move(inv));
-    dispatch_next_op(p);
-  });
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::op_dispatch, p, h);
   return h;
 }
 
@@ -87,20 +91,13 @@ cluster::op_handle cluster::submit_read(process_id p, time_ns at) {
   r.p = p;
   results_.push_back(std::move(r));
   const op_handle h = results_.size() - 1;
-  queue_.schedule_at(std::max(at, now()), [this, p, h] {
-    node& nd = node_at(p);
-    pending_invocation inv;
-    inv.handle = h;
-    inv.is_read = true;
-    nd.op_queue.push_back(std::move(inv));
-    dispatch_next_op(p);
-  });
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::op_dispatch, p, h);
   return h;
 }
 
 void cluster::submit_crash(process_id p, time_ns at) {
   (void)node_at(p);
-  queue_.schedule_at(std::max(at, now()), [this, p] { do_crash(p); });
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::crash, p);
 }
 
 void cluster::submit_recover(process_id p, time_ns at) {
@@ -108,7 +105,7 @@ void cluster::submit_recover(process_id p, time_ns at) {
     throw driver_error("cluster: recovery is impossible in the crash-stop model");
   }
   (void)node_at(p);
-  queue_.schedule_at(std::max(at, now()), [this, p] { do_recover(p); });
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::recover, p);
 }
 
 void cluster::apply(const sim::fault_plan& plan, time_ns offset) {
@@ -174,151 +171,178 @@ metrics::op_collector cluster::collect() const {
   return col;
 }
 
+// ---- Event dispatch ----------------------------------------------------------
+
+void cluster::execute(sim::sim_event& ev) {
+  switch (ev.kind) {
+    case sim::event_kind::message:
+      deliver_message(ev.target, ev.msg);
+      return;
+    case sim::event_kind::log_done:
+      deliver_log_done(ev.target, ev.a, ev.log_key, ev.log_record, ev.incarnation);
+      return;
+    case sim::event_kind::timer:
+      deliver_timer(ev.target, ev.a, ev.incarnation);
+      return;
+    case sim::event_kind::op_dispatch:
+      handle_op_dispatch(ev);
+      return;
+    case sim::event_kind::crash:
+      do_crash(ev.target);
+      return;
+    case sim::event_kind::recover:
+      do_recover(ev.target);
+      return;
+    case sim::event_kind::none:
+    case sim::event_kind::thunk:
+      return;  // thunks run inside the queue; none is an empty slot
+  }
+}
+
 // ---- Node mechanics ----------------------------------------------------------
 
+void cluster::handle_op_dispatch(const sim::sim_event& ev) {
+  node& nd = nd_of(ev.target);
+  if (ev.a == sim::no_event_arg) {
+    // Redispatch pump armed while the client context was busy; stale after a
+    // crash (the queued ops it was pumping were dropped with the client).
+    if (ev.incarnation == nd.incarnation) dispatch_next_op(ev.target);
+    return;
+  }
+  nd.op_queue.push_back(pending_invocation{ev.a, results_[ev.a].is_read});
+  dispatch_next_op(ev.target);
+}
+
 void cluster::dispatch_next_op(process_id p) {
-  node& nd = node_at(p);
+  node& nd = nd_of(p);
   if (!nd.up || !nd.core->is_up() || !nd.core->ready() || !nd.core->idle()) return;
   if (nd.active_op || nd.op_queue.empty()) return;
   if (nd.client_ctx.busy_until > now()) {
-    const std::uint64_t inc = nd.incarnation;
-    queue_.schedule_at(nd.client_ctx.busy_until, [this, p, inc] {
-      if (node_at(p).incarnation == inc) dispatch_next_op(p);
-    });
+    queue_.schedule_plain(nd.client_ctx.busy_until, sim::event_kind::op_dispatch, p,
+                          sim::no_event_arg, nd.incarnation);
     return;
   }
 
-  pending_invocation inv = std::move(nd.op_queue.front());
+  const pending_invocation inv = nd.op_queue.front();
   nd.op_queue.pop_front();
   nd.client_ctx.busy_until = now() + cfg_.process_step_cost;
   nd.active_op = inv.handle;
   nd.active_invoked_at = now();
 
-  proto::outputs out;
+  outputs_lease lease(*this);
   if (inv.is_read) {
     recorder_.invoke_read(p, now());
-    nd.core->invoke_read(out);
+    nd.core->invoke_read(lease.out);
   } else {
-    recorder_.invoke_write(p, inv.v, now());
-    nd.core->invoke_write(inv.v, out);
+    const value& v = results_[inv.handle].v;  // the write's argument
+    recorder_.invoke_write(p, v, now());
+    nd.core->invoke_write(v, lease.out);
   }
-  // Register attribution for this op under its (origin, epoch, seq) identity.
-  const attr_key key{p.index, nd.core->current_epoch(), nd.core->current_op_seq()};
-  active_handles_[key] = inv.handle;
-  attribution_[key];  // ensure entry
-  execute_effects(p, out);
+  // Fresh attribution window for this op (its identity is the core's current
+  // (epoch, op_seq); effects emitted below match it).
+  nd.attr_messages = 0;
+  nd.attr_logs = 0;
+  execute_effects(p, lease.out);
 }
 
-void cluster::deliver_message(process_id p, proto::message m, std::uint64_t) {
-  node& nd = node_at(p);
+void cluster::deliver_message(process_id p, const proto::shared_message& mh) {
+  node& nd = nd_of(p);
   if (!nd.up || !nd.core->is_up()) return;  // dropped at a dead host
-  const bool client_side = m.kind == proto::msg_kind::sn_ack ||
-                           m.kind == proto::msg_kind::read_ack ||
-                           m.kind == proto::msg_kind::write_ack;
-  context& ctx = client_side ? nd.client_ctx : nd.listener_ctx;
+  const proto::message& m = *mh;
+  // Acks return to the client thread; requests hit the listener thread.
+  context& ctx = proto::is_ack_kind(m.kind) ? nd.client_ctx : nd.listener_ctx;
   if (ctx.busy_until > now()) {
-    // The owning thread is busy (e.g. blocked on a synchronous store);
-    // the message waits in the socket buffer.
-    queue_.schedule_at(ctx.busy_until, [this, p, m = std::move(m)] {
-      deliver_message(p, m, no_incarnation_check);
-    });
+    // The owning thread is busy (e.g. blocked on a synchronous store); the
+    // message waits in the socket buffer. Requeueing shares the same payload.
+    queue_.schedule_message(ctx.busy_until, p, mh);
     return;
   }
   ctx.busy_until = now() + cfg_.process_step_cost;
-  proto::outputs out;
-  nd.core->on_message(m, out);
-  execute_effects(p, out);
+  outputs_lease lease(*this);
+  nd.core->on_message(m, lease.out);
+  execute_effects(p, lease.out);
 }
 
-void cluster::deliver_log_done(process_id p, std::uint64_t token, std::string key,
-                               bytes record, std::uint64_t incarnation) {
-  node& nd = node_at(p);
+void cluster::deliver_log_done(process_id p, std::uint64_t token, std::string_view key,
+                               const bytes& record, std::uint64_t incarnation) {
+  node& nd = nd_of(p);
   if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) {
     // The process crashed while the store was in flight: under the
     // conservative durability model the record never hit the platter.
     return;
   }
   nd.store->store(key, record);  // durability point
-  proto::outputs out;
-  nd.core->on_log_done(token, out);
-  execute_effects(p, out);
+  outputs_lease lease(*this);
+  nd.core->on_log_done(token, lease.out);
+  execute_effects(p, lease.out);
 }
 
 void cluster::deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation) {
-  node& nd = node_at(p);
+  node& nd = nd_of(p);
   if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) return;
   context& ctx = nd.client_ctx;
   if (ctx.busy_until > now()) {
-    queue_.schedule_at(ctx.busy_until,
-                       [this, p, token, incarnation] { deliver_timer(p, token, incarnation); });
+    queue_.schedule_plain(ctx.busy_until, sim::event_kind::timer, p, token, incarnation);
     return;
   }
   ctx.busy_until = now() + cfg_.process_step_cost;
-  proto::outputs out;
-  nd.core->on_timer(token, out);
-  execute_effects(p, out);
+  outputs_lease lease(*this);
+  nd.core->on_timer(token, lease.out);
+  execute_effects(p, lease.out);
 }
 
 void cluster::route_message(process_id from, const std::vector<process_id>& tos,
                             const proto::message& m) {
-  const auto deliveries =
-      net_.route(now(), from, tos, proto::wire_size(m), static_cast<std::uint8_t>(m.kind),
-                 m.op_seq, m.round);
-  for (const auto& d : deliveries) {
-    queue_.schedule_at(d.deliver_at, [this, to = d.to, m] {
-      deliver_message(to, m, no_incarnation_check);
-    });
+  route_scratch_.clear();
+  net_.route(now(), from, tos, proto::wire_size(m), static_cast<std::uint8_t>(m.kind),
+             m.op_seq, m.round, route_scratch_);
+  if (route_scratch_.empty()) return;
+  // One pooled payload for the whole broadcast; every delivery (and every
+  // busy-requeue of one) shares it by refcount.
+  proto::shared_message mh = msg_pool_.make(m);
+  const std::size_t last = route_scratch_.size() - 1;
+  for (std::size_t i = 0; i < last; ++i) {
+    queue_.schedule_message(route_scratch_[i].deliver_at, route_scratch_[i].to, mh);
   }
+  queue_.schedule_message(route_scratch_[last].deliver_at, route_scratch_[last].to,
+                          std::move(mh));
 }
 
 void cluster::execute_effects(process_id p, proto::outputs& out) {
-  node& nd = node_at(p);
+  node& nd = nd_of(p);
 
   for (proto::log_request& lr : out.logs) {
     const time_ns done_at = nd.disk.issue(now(), lr.record.size() + lr.key.size());
     ctx_of(nd, lr.ctx).busy_until = done_at;  // synchronous store blocks its thread
     if (lr.op_seq != 0) {
-      attribution_[attr_key{lr.origin.index, lr.epoch, lr.op_seq}].logs += 1;
+      node& o = nd_of(lr.origin);
+      if (o.active_op && o.core->current_op_seq() == lr.op_seq &&
+          o.core->current_epoch() == lr.epoch) {
+        o.attr_logs += 1;
+      }
     } else {
       recovery_stores_ += 1;
     }
-    queue_.schedule_at(done_at, [this, p, token = lr.token, key = lr.key,
-                                 record = std::move(lr.record), inc = nd.incarnation] {
-      deliver_log_done(p, token, key, record, inc);
-    });
+    queue_.schedule_log_done(done_at, p, lr.token, nd.incarnation, lr.key, lr.record);
   }
 
-  std::vector<process_id> everyone;
   for (const proto::broadcast_request& b : out.broadcasts) {
-    if (everyone.empty()) {
-      everyone.reserve(cfg_.n);
-      for (std::uint32_t i = 0; i < cfg_.n; ++i) everyone.push_back(process_id{i});
-    }
-    const bool is_ack = b.msg.kind == proto::msg_kind::sn_ack ||
-                        b.msg.kind == proto::msg_kind::read_ack ||
-                        b.msg.kind == proto::msg_kind::write_ack;
-    const process_id origin = is_ack ? no_process : b.msg.from;
-    if (origin.valid() && b.msg.op_seq != 0) {
-      attribution_[attr_key{origin.index, b.msg.epoch, b.msg.op_seq}].messages += cfg_.n;
-    }
-    route_message(p, everyone, b.msg);
+    // Acks are never broadcast, so the sender is the op's origin.
+    attribute_messages(b.msg.from, b.msg.epoch, b.msg.op_seq, cfg_.n);
+    route_message(p, all_processes_, b.msg);
   }
 
   for (const proto::send_request& s : out.sends) {
-    const bool is_ack = s.msg.kind == proto::msg_kind::sn_ack ||
-                        s.msg.kind == proto::msg_kind::read_ack ||
-                        s.msg.kind == proto::msg_kind::write_ack;
-    const process_id origin = is_ack ? s.to : s.msg.from;
-    if (s.msg.op_seq != 0) {
-      attribution_[attr_key{origin.index, s.msg.epoch, s.msg.op_seq}].messages += 1;
-    }
-    route_message(p, {s.to}, s.msg);
+    // An ack's cost belongs to the op of its *recipient* (the invoker).
+    attribute_messages(proto::is_ack_kind(s.msg.kind) ? s.to : s.msg.from,
+                       s.msg.epoch, s.msg.op_seq, 1);
+    unicast_to_[0] = s.to;
+    route_message(p, unicast_to_, s.msg);
   }
 
   for (const proto::timer_request& t : out.timers) {
-    queue_.schedule_at(now() + t.delay, [this, p, token = t.token, inc = nd.incarnation] {
-      deliver_timer(p, token, inc);
-    });
+    queue_.schedule_plain(now() + t.delay, sim::event_kind::timer, p, t.token,
+                          nd.incarnation);
   }
 
   if (out.completion) finish_active_op(p, *out.completion);
@@ -329,12 +353,9 @@ void cluster::execute_effects(process_id p, proto::outputs& out) {
 }
 
 void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
-  node& nd = node_at(p);
-  const attr_key key{p.index, nd.core->current_epoch(), oc.op_seq};
-  const auto hit = active_handles_.find(key);
-  if (hit == active_handles_.end()) return;  // recovery round, not a client op
-  const op_handle h = hit->second;
-  active_handles_.erase(hit);
+  node& nd = nd_of(p);
+  if (!nd.active_op) return;  // recovery round, not a client op
+  const op_handle h = *nd.active_op;
 
   op_result& r = results_[h];
   r.completed = true;
@@ -346,9 +367,8 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
   r.sample.latency = now() - nd.active_invoked_at;
   r.sample.causal_logs = oc.causal_logs;
   r.sample.round_trips = oc.round_trips;
-  const auto& attr = attribution_[key];
-  r.sample.total_logs = attr.logs;
-  r.sample.messages = attr.messages;
+  r.sample.total_logs = nd.attr_logs;
+  r.sample.messages = nd.attr_messages;
 
   if (oc.is_read) {
     recorder_.reply_read(p, oc.result, now());
@@ -360,7 +380,7 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
 }
 
 void cluster::do_crash(process_id p) {
-  node& nd = node_at(p);
+  node& nd = nd_of(p);
   if (!nd.up) return;
   nd.up = false;
   nd.incarnation += 1;
@@ -377,20 +397,21 @@ void cluster::do_crash(process_id p) {
 }
 
 void cluster::do_recover(process_id p) {
-  node& nd = node_at(p);
+  node& nd = nd_of(p);
   if (nd.up) return;
   nd.up = true;
   recorder_.recover(p, now());
   nd.client_ctx.busy_until = now() + cfg_.recovery_read_latency;
   nd.recover_scheduled = true;
   const std::uint64_t inc = nd.incarnation;
-  // retrieve() of the stable records costs one synchronous disk read.
+  // retrieve() of the stable records costs one synchronous disk read. Cold
+  // path: the generic-thunk fallback is fine here.
   queue_.schedule_at(now() + cfg_.recovery_read_latency, [this, p, inc] {
-    node& nd2 = node_at(p);
+    node& nd2 = nd_of(p);
     if (nd2.incarnation != inc || !nd2.up) return;  // crashed again meanwhile
-    proto::outputs out;
-    nd2.core->recover(rng_.next_u64(), out);
-    execute_effects(p, out);
+    outputs_lease lease(*this);
+    nd2.core->recover(rng_.next_u64(), lease.out);
+    execute_effects(p, lease.out);
   });
 }
 

@@ -20,11 +20,17 @@
 //
 // Determinism: every run is a pure function of (cluster_config, submitted
 // workload); random delays/epochs derive from cfg.seed.
+//
+// Hot-path discipline: the cluster is the queue's `sim_executor` — simulator
+// traffic is typed events, not closures; broadcast payloads are pooled
+// refcounted messages shared by all n deliveries; attribution lives in a flat
+// hash keyed on packed (origin, epoch, seq); and effect batches, route
+// buffers, and unicast scratch are pooled so steady-state execution performs
+// no heap allocation in the simulation substrate.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -34,15 +40,17 @@
 #include "history/tag_order.h"
 #include "metrics/op_metrics.h"
 #include "proto/quorum_core.h"
+#include "proto/shared_message.h"
 #include "sim/disk_model.h"
 #include "sim/event_queue.h"
 #include "sim/fault_plan.h"
 #include "sim/network_model.h"
+#include "sim/sim_event.h"
 #include "storage/memory_store.h"
 
 namespace remus::core {
 
-class cluster {
+class cluster final : private sim::sim_executor {
  public:
   using op_handle = std::uint64_t;
 
@@ -86,6 +94,10 @@ class cluster {
   [[nodiscard]] std::vector<history::tagged_op> tagged_operations() const;
   [[nodiscard]] metrics::op_collector collect() const;
   [[nodiscard]] time_ns now() const { return queue_.now(); }
+  /// Total simulator events executed so far (throughput accounting).
+  [[nodiscard]] std::uint64_t events_executed() const { return queue_.executed(); }
+  /// Events currently scheduled (includes not-yet-fired stale timers).
+  [[nodiscard]] std::size_t events_pending() const { return queue_.pending(); }
   [[nodiscard]] std::uint32_t size() const { return cfg_.n; }
   [[nodiscard]] const cluster_config& config() const { return cfg_; }
   [[nodiscard]] bool is_up(process_id p) const { return node_at(p).up; }
@@ -106,7 +118,8 @@ class cluster {
   struct pending_invocation {
     op_handle handle = 0;
     bool is_read = false;
-    value v;
+    // The payload is read from results_[handle].v at invoke time (it is the
+    // write's recorded argument) — no per-invocation copy.
   };
 
   struct node {
@@ -121,23 +134,45 @@ class cluster {
     std::deque<pending_invocation> op_queue;
     std::optional<op_handle> active_op;
     time_ns active_invoked_at = 0;
+    /// Metric attribution for the active op. Effects carry their op's
+    /// (origin, epoch, seq) identity; counts for the origin's in-flight op
+    /// land here, and anything else (stale retransmissions, recovery
+    /// rounds) is unattributed — exactly what the per-op samples report,
+    /// since a sample freezes at completion. This keeps attribution O(1)
+    /// with no per-op map entry.
+    std::uint32_t attr_messages = 0;
+    std::uint32_t attr_logs = 0;
 
     explicit node(sim::disk_config dc) : disk(dc) {}
   };
 
-  struct op_attribution {
-    std::uint32_t messages = 0;
-    std::uint32_t logs = 0;
+  /// RAII lease of a pooled effect batch (reentrant: an effect handler may
+  /// trigger another handler, so leases nest).
+  struct outputs_lease {
+    explicit outputs_lease(cluster& cl) : c(cl), out(cl.acquire_outputs()) {}
+    ~outputs_lease() { c.release_outputs(out); }
+    outputs_lease(const outputs_lease&) = delete;
+    outputs_lease& operator=(const outputs_lease&) = delete;
+
+    cluster& c;
+    proto::outputs& out;
   };
 
   [[nodiscard]] node& node_at(process_id p);
   [[nodiscard]] const node& node_at(process_id p) const;
+  /// Unchecked access for event handlers: targets were validated when the
+  /// event was submitted (node_at keeps the checks for the public surface).
+  [[nodiscard]] node& nd_of(process_id p) noexcept { return *nodes_[p.index]; }
   context& ctx_of(node& nd, proto::exec_context c);
+  proto::outputs& acquire_outputs();
+  void release_outputs(proto::outputs& out);
 
+  void execute(sim::sim_event& ev) override;
+  void handle_op_dispatch(const sim::sim_event& ev);
   void dispatch_next_op(process_id p);
-  void deliver_message(process_id p, proto::message m, std::uint64_t incarnation);
-  void deliver_log_done(process_id p, std::uint64_t token, std::string key,
-                        bytes record, std::uint64_t incarnation);
+  void deliver_message(process_id p, const proto::shared_message& mh);
+  void deliver_log_done(process_id p, std::uint64_t token, std::string_view key,
+                        const bytes& record, std::uint64_t incarnation);
   void deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation);
   void execute_effects(process_id p, proto::outputs& out);
   void route_message(process_id from, const std::vector<process_id>& tos,
@@ -145,21 +180,38 @@ class cluster {
   void do_crash(process_id p);
   void do_recover(process_id p);
   void finish_active_op(process_id p, const proto::op_outcome& oc);
-
-  /// Identity of one operation across the whole run for metric attribution:
-  /// (invoker, incarnation epoch, per-process op counter).
-  using attr_key = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;
+  /// Count `n` messages against the origin's active op, if the identity
+  /// (origin, epoch, seq) names it; stale traffic goes unattributed.
+  void attribute_messages(process_id origin, std::uint64_t epoch,
+                          std::uint64_t op_seq, std::uint32_t n) {
+    if (!origin.valid() || op_seq == 0) return;
+    node& o = nd_of(origin);
+    if (o.active_op && o.core->current_op_seq() == op_seq &&
+        o.core->current_epoch() == epoch) {
+      o.attr_messages += n;
+    }
+  }
 
   cluster_config cfg_;
+  // The pool must outlive the queue: queued events hold message handles that
+  // recycle into the pool when dropped (members destroy in reverse order).
+  proto::message_pool msg_pool_;
   sim::event_queue queue_;
   sim::network_model net_;
   rng rng_;
   std::vector<std::unique_ptr<node>> nodes_;
   history::recorder recorder_;
   std::vector<op_result> results_;
-  std::map<attr_key, op_attribution> attribution_;
-  std::map<attr_key, op_handle> active_handles_;
   std::uint64_t recovery_stores_ = 0;
+
+  // Hot-path scratch (single-threaded; none of these cross a reentrant call).
+  std::vector<process_id> all_processes_;
+  std::vector<process_id> unicast_to_;
+  std::vector<sim::delivery> route_scratch_;
+  // Effect-batch pool: leases nest strictly LIFO (handler reentrancy), so a
+  // depth index into the slab list replaces a free list.
+  std::vector<std::unique_ptr<proto::outputs>> outputs_slabs_;
+  std::size_t outputs_depth_ = 0;
 };
 
 }  // namespace remus::core

@@ -9,10 +9,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/recycling_vector.h"
 #include "common/time.h"
 #include "common/timestamp.h"
 #include "common/value.h"
@@ -35,7 +36,9 @@ struct broadcast_request {
 };
 
 struct log_request {
-  std::string key;
+  /// Record key — always one of the static record-key constants
+  /// (records.h), so a view is safe and keeps the hot path string-free.
+  std::string_view key;
   bytes record;
   /// Completion token: the driver calls on_log_done(token) once durable.
   std::uint64_t token = 0;
@@ -69,12 +72,35 @@ struct op_outcome {
   std::uint32_t round_trips = 0;
 };
 
+/// Optional-like completion slot whose reset() keeps the outcome's value
+/// buffer alive, so a pooled `outputs` completes operations allocation-free.
+class completion_slot {
+ public:
+  [[nodiscard]] explicit operator bool() const noexcept { return set_; }
+  [[nodiscard]] bool has_value() const noexcept { return set_; }
+  op_outcome& emplace() noexcept {
+    set_ = true;
+    return v_;
+  }
+  [[nodiscard]] op_outcome& operator*() noexcept { return v_; }
+  [[nodiscard]] const op_outcome& operator*() const noexcept { return v_; }
+  [[nodiscard]] op_outcome* operator->() noexcept { return &v_; }
+  [[nodiscard]] const op_outcome* operator->() const noexcept { return &v_; }
+  void reset() noexcept { set_ = false; }
+
+ private:
+  op_outcome v_;  // retains result-value capacity across reset()
+  bool set_ = false;
+};
+
 struct outputs {
-  std::vector<send_request> sends;
-  std::vector<broadcast_request> broadcasts;
-  std::vector<log_request> logs;
-  std::vector<timer_request> timers;
-  std::optional<op_outcome> completion;
+  // Recycling batches: clear() retires entries without freeing their message
+  // payload / record buffers, so a pooled `outputs` refills allocation-free.
+  recycling_vector<send_request> sends;
+  recycling_vector<broadcast_request> broadcasts;
+  recycling_vector<log_request> logs;
+  recycling_vector<timer_request> timers;
+  completion_slot completion;
   /// Set when a recovery procedure finished and invocations may resume.
   bool recovery_complete = false;
 

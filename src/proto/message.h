@@ -39,6 +39,16 @@ enum class msg_kind : std::uint8_t {
 
 [[nodiscard]] std::string to_string(msg_kind k);
 
+/// Acknowledgements are exactly the even-valued kinds — the hot paths
+/// classify messages with one parity test.
+[[nodiscard]] constexpr bool is_ack_kind(msg_kind k) noexcept {
+  return (static_cast<std::uint8_t>(k) & 1u) == 0;
+}
+static_assert(is_ack_kind(msg_kind::sn_ack) && is_ack_kind(msg_kind::write_ack) &&
+              is_ack_kind(msg_kind::read_ack) && !is_ack_kind(msg_kind::sn_query) &&
+              !is_ack_kind(msg_kind::write) && !is_ack_kind(msg_kind::read_query) &&
+              !is_ack_kind(msg_kind::writeback));
+
 struct message {
   msg_kind kind = msg_kind::sn_query;
   process_id from;

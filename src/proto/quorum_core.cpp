@@ -22,13 +22,15 @@ void quorum_core::check_input_allowed(const char* what) const {
   if (!up_) throw precondition_error(std::string("quorum_core: input while crashed: ") + what);
 }
 
-message quorum_core::make_msg(msg_kind k, std::uint32_t round, std::uint32_t depth) const {
-  message m;
+message& quorum_core::stage_msg(msg_kind k, std::uint32_t round, std::uint32_t depth) {
+  message& m = cl_.current;
   m.kind = k;
   m.from = self_;
   m.op_seq = cl_.op_seq;
   m.round = round;
   m.epoch = epoch_;
+  m.ts = tag{};
+  m.val.data.clear();  // keeps capacity: refilling the payload won't allocate
   m.log_depth = depth;
   return m;
 }
@@ -38,12 +40,12 @@ void quorum_core::arm_timer(outputs& out) {
   out.timers.push_back(timer_request{cl_.retrans_token, pol_.retransmit_delay});
 }
 
-void quorum_core::begin_phase(phase_kind ph, message msg, outputs& out) {
+void quorum_core::begin_phase(phase_kind ph, outputs& out) {
+  // stage_msg() has already filled cl_.current for this phase.
   cl_.phase = ph;
   cl_.responded.assign(n_, false);
   cl_.responses = 0;
-  cl_.current = std::move(msg);
-  out.broadcasts.push_back(broadcast_request{cl_.current});
+  out.broadcasts.emplace_slot().msg = cl_.current;
   arm_timer(out);
 }
 
@@ -74,14 +76,15 @@ void quorum_core::invoke_write(const value& v, outputs& out) {
     throw precondition_error("quorum_core: " + pol_.name + " allows only p0 to write");
   }
 
-  cl_ = client_state{};
+  cl_.reset();
   cl_.op_seq = ++op_counter_;
   cl_.is_read = false;
   cl_.payload = v;
 
   if (pol_.write_query_round) {
     cl_.max_sn = 0;
-    begin_phase(phase_kind::write_query, make_msg(msg_kind::sn_query, 1, 0), out);
+    stage_msg(msg_kind::sn_query, 1, 0);
+    begin_phase(phase_kind::write_query, out);
   } else {
     // Single-writer variants: the writer's own counter replaces the query.
     wsn_ += 1;
@@ -95,44 +98,44 @@ void quorum_core::invoke_read(outputs& out) {
   if (!ready_) throw precondition_error("quorum_core: invoke_read while recovering");
   if (!idle()) throw precondition_error("quorum_core: invoke_read while op in flight");
 
-  cl_ = client_state{};
+  cl_.reset();
   cl_.op_seq = ++op_counter_;
   cl_.is_read = true;
   cl_.best_tag = initial_tag;
-  cl_.best_val = initial_value();
-  begin_phase(phase_kind::read_query, make_msg(msg_kind::read_query, 1, 0), out);
+  stage_msg(msg_kind::read_query, 1, 0);
+  begin_phase(phase_kind::read_query, out);
 }
 
 void quorum_core::proceed_after_query(outputs& out) {
   if (pol_.writer_prelog && !pol_.crash_stop) {
     // Paper Fig. 4 line 12: store(writing, sn, v) — the first causal log.
     cl_.phase = phase_kind::write_prelog;
-    log_request lr;
-    lr.key = std::string(writing_key);
-    lr.record = encode(tagged_value_record{cl_.pending_tag, cl_.payload});
+    log_request& lr = out.logs.emplace_slot();  // recycled: every field assigned
+    lr.key = writing_key;
+    encode_tagged_value_into(lr.record, cl_.pending_tag, cl_.payload);
     lr.token = fresh_token();
     lr.ctx = exec_context::client;
     lr.depth_after = cl_.depth + 1;
     lr.op_seq = cl_.op_seq;
     lr.origin = self_;
     lr.epoch = epoch_;
-    pending_logs_.emplace(lr.token, pending_log{pending_log::kind::writer_prelog,
-                                                no_process, 0, 0, 0, 0});
-    out.logs.push_back(std::move(lr));
+    pending_log& pl = pending_logs_[lr.token];
+    pl = pending_log{};
+    pl.k = pending_log::kind::writer_prelog;
   } else {
     begin_update_round(out);
   }
 }
 
 void quorum_core::begin_update_round(outputs& out) {
-  message m = make_msg(msg_kind::write, 2, cl_.depth);
+  message& m = stage_msg(msg_kind::write, 2, cl_.depth);
   m.ts = cl_.pending_tag;
-  m.val = cl_.payload;
-  begin_phase(phase_kind::write_update, std::move(m), out);
+  m.val = cl_.payload;  // copy-assign into retained capacity
+  begin_phase(phase_kind::write_update, out);
 }
 
 void quorum_core::finish_operation(outputs& out) {
-  op_outcome oc;
+  op_outcome& oc = out.completion.emplace();
   oc.op_seq = cl_.op_seq;
   oc.is_read = cl_.is_read;
   oc.causal_logs = cl_.depth;
@@ -150,8 +153,7 @@ void quorum_core::finish_operation(outputs& out) {
     oc.applied = cl_.pending_tag;
     oc.round_trips = pol_.write_query_round ? 2 : 1;
   }
-  cl_ = client_state{};
-  out.completion = oc;
+  cl_.reset();
 }
 
 bool quorum_core::ack_matches(const message& m) const {
@@ -212,10 +214,10 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
     }
     case phase_kind::read_query: {
       if (pol_.read_writeback) {
-        message wb = make_msg(msg_kind::writeback, 2, cl_.depth);
+        message& wb = stage_msg(msg_kind::writeback, 2, cl_.depth);
         wb.ts = cl_.best_tag;
         wb.val = cl_.best_val;
-        begin_phase(phase_kind::read_update, std::move(wb), out);
+        begin_phase(phase_kind::read_update, out);
       } else {
         finish_operation(out);
       }
@@ -226,7 +228,7 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
       finish_operation(out);
       break;
     case phase_kind::recovery_update:
-      cl_ = client_state{};
+      cl_.reset();
       ready_ = true;
       out.recovery_complete = true;
       break;
@@ -237,41 +239,47 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
 }
 
 void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out) {
-  message ack;
+  send_request& s = out.sends.emplace_slot();
+  s.to = req.from;
+  message& ack = s.msg;  // recycled slot: every field assigned below
   ack.kind = msg_kind::write_ack;
   ack.from = self_;
   ack.op_seq = req.op_seq;
   ack.round = req.round;
   ack.epoch = req.epoch;
+  ack.ts = tag{};
+  ack.val.data.clear();
   ack.log_depth = depth;
-  out.sends.push_back(send_request{req.from, std::move(ack)});
 }
 
 void quorum_core::serve(const message& m, outputs& out) {
   switch (m.kind) {
     case msg_kind::sn_query: {
-      message ack;
+      send_request& s = out.sends.emplace_slot();
+      s.to = m.from;
+      message& ack = s.msg;  // recycled slot: every field assigned
       ack.kind = msg_kind::sn_ack;
       ack.from = self_;
       ack.op_seq = m.op_seq;
       ack.round = m.round;
       ack.epoch = m.epoch;
       ack.ts = vtag_;
+      ack.val.data.clear();
       ack.log_depth = m.log_depth;
-      out.sends.push_back(send_request{m.from, std::move(ack)});
       return;
     }
     case msg_kind::read_query: {
-      message ack;
+      send_request& s = out.sends.emplace_slot();
+      s.to = m.from;
+      message& ack = s.msg;  // recycled slot: every field assigned
       ack.kind = msg_kind::read_ack;
       ack.from = self_;
       ack.op_seq = m.op_seq;
       ack.round = m.round;
       ack.epoch = m.epoch;
       ack.ts = vtag_;
-      ack.val = vval_;
+      ack.val = vval_;  // copy-assign into retained capacity
       ack.log_depth = m.log_depth;
-      out.sends.push_back(send_request{m.from, std::move(ack)});
       return;
     }
     case msg_kind::write:
@@ -285,19 +293,22 @@ void quorum_core::serve(const message& m, outputs& out) {
                                                          : pol_.log_on_read_writeback);
         if (log_this) {
           // Fig. 4 line 24: store(written, sn, pid, v) before acking.
-          log_request lr;
-          lr.key = std::string(written_key);
-          lr.record = encode(tagged_value_record{vtag_, vval_});
+          log_request& lr = out.logs.emplace_slot();  // recycled: all assigned
+          lr.key = written_key;
+          encode_tagged_value_into(lr.record, vtag_, vval_);
           lr.token = fresh_token();
           lr.ctx = exec_context::listener;
           lr.depth_after = m.log_depth + 1;
           lr.op_seq = m.op_seq;
           lr.origin = m.from;
           lr.epoch = m.epoch;
-          pending_logs_.emplace(
-              lr.token, pending_log{pending_log::kind::server_adopt, m.from, m.op_seq,
-                                    m.round, m.epoch, m.log_depth + 1});
-          out.logs.push_back(std::move(lr));
+          pending_log& pl = pending_logs_[lr.token];
+          pl.k = pending_log::kind::server_adopt;
+          pl.to = m.from;
+          pl.op_seq = m.op_seq;
+          pl.round = m.round;
+          pl.epoch = m.epoch;
+          pl.depth = m.log_depth + 1;
           return;  // ack deferred until durable
         }
       }
@@ -319,21 +330,24 @@ void quorum_core::on_message(const message& m, outputs& out) {
 
 void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
   check_input_allowed("on_log_done");
-  const auto it = pending_logs_.find(token);
-  if (it == pending_logs_.end()) return;  // stale (pre-crash) completion
-  const pending_log pl = it->second;
-  pending_logs_.erase(it);
+  const pending_log* hit = pending_logs_.find(token);
+  if (hit == nullptr) return;  // stale (pre-crash) completion
+  const pending_log pl = *hit;
+  pending_logs_.erase(token);
 
   switch (pl.k) {
     case pending_log::kind::server_adopt: {
-      message ack;
+      send_request& s = out.sends.emplace_slot();
+      s.to = pl.to;
+      message& ack = s.msg;  // recycled slot: every field assigned
       ack.kind = msg_kind::write_ack;
       ack.from = self_;
       ack.op_seq = pl.op_seq;
       ack.round = pl.round;
       ack.epoch = pl.epoch;
+      ack.ts = tag{};
+      ack.val.data.clear();
       ack.log_depth = pl.depth;
-      out.sends.push_back(send_request{pl.to, std::move(ack)});
       return;
     }
     case pending_log::kind::writer_prelog: {
@@ -363,7 +377,10 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
   // Repeat the pseudocode's "repeat send until" loop: re-send to the
   // processes that have not answered this phase yet.
   for (std::uint32_t i = 0; i < n_; ++i) {
-    if (!cl_.responded[i]) out.sends.push_back(send_request{process_id{i}, cl_.current});
+    if (cl_.responded[i]) continue;
+    send_request& s = out.sends.emplace_slot();
+    s.to = process_id{i};
+    s.msg = cl_.current;  // copy-assign into retained capacity
   }
   arm_timer(out);
 }
@@ -411,7 +428,7 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
     }
     rec_ = prev + 1;
     log_request lr;
-    lr.key = std::string(recovered_key);
+    lr.key = recovered_key;
     lr.record = encode(recovery_record{rec_});
     lr.token = fresh_token();
     lr.ctx = exec_context::client;
@@ -419,8 +436,9 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
     lr.op_seq = 0;  // recovery, not an operation
     lr.origin = self_;
     lr.epoch = epoch_;
-    pending_logs_.emplace(lr.token, pending_log{pending_log::kind::recovery_counter,
-                                                no_process, 0, 0, 0, 0});
+    pending_log& pl = pending_logs_[lr.token];
+    pl = pending_log{};
+    pl.k = pending_log::kind::recovery_counter;
     out.logs.push_back(std::move(lr));
     return;
   }
@@ -430,14 +448,14 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
     // (writing) record. Harmless when there was no unfinished write.
     tagged_value_record w{initial_tag, initial_value()};
     if (const auto rec = store_.retrieve(writing_key)) w = decode_tagged_value(*rec);
-    cl_ = client_state{};
+    cl_.reset();
     cl_.op_seq = ++op_counter_;
     cl_.pending_tag = w.ts;
     cl_.payload = w.val;
-    message m = make_msg(msg_kind::write, 2, 0);
+    message& m = stage_msg(msg_kind::write, 2, 0);
     m.ts = w.ts;
     m.val = w.val;
-    begin_phase(phase_kind::recovery_update, std::move(m), out);
+    begin_phase(phase_kind::recovery_update, out);
     return;
   }
 

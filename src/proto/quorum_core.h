@@ -28,10 +28,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/error.h"
+#include "common/flat_hash.h"
 #include "proto/register_core.h"
 #include "proto/records.h"
 #include "storage/stable_store.h"
@@ -99,6 +99,28 @@ class quorum_core final : public register_core {
     std::uint32_t depth = 0;  // causal-log depth along this op
     std::uint64_t retrans_token = 0;
     message current;  // message being repeated until enough acks arrive
+
+    /// Reset for the next operation, keeping buffer capacity (payload,
+    /// best/first values, `current`'s value) so steady-state operation
+    /// startup allocates nothing.
+    void reset() {
+      phase = phase_kind::idle;
+      op_seq = 0;
+      is_read = false;
+      payload.data.clear();
+      pending_tag = tag{};
+      max_sn = 0;
+      best_tag = tag{};
+      best_val.data.clear();
+      have_first = false;
+      first_tag = tag{};
+      first_val.data.clear();
+      responses = 0;
+      depth = 0;
+      retrans_token = 0;
+      // `responded` is re-assigned per phase; `current` is fully re-staged
+      // by stage_msg() before any phase reads it.
+    }
   };
 
   struct pending_log {
@@ -112,16 +134,23 @@ class quorum_core final : public register_core {
     std::uint32_t depth = 0;
   };
 
+  struct token_hash {
+    std::size_t operator()(std::uint64_t t) const noexcept {
+      return static_cast<std::size_t>(mix_u64(t));
+    }
+  };
+
   void check_input_allowed(const char* what) const;
-  void begin_phase(phase_kind ph, message msg, outputs& out);
+  void begin_phase(phase_kind ph, outputs& out);
   void proceed_after_query(outputs& out);
   void begin_update_round(outputs& out);
   void finish_operation(outputs& out);
   [[nodiscard]] bool ack_matches(const message& m) const;
   void handle_ack(const message& m, outputs& out);
   void serve(const message& m, outputs& out);
-  [[nodiscard]] message make_msg(msg_kind k, std::uint32_t round,
-                                 std::uint32_t depth) const;
+  /// Overwrite every header field of cl_.current (the phase's broadcast
+  /// message) in place, reusing its value buffer; callers then set ts/val.
+  message& stage_msg(msg_kind k, std::uint32_t round, std::uint32_t depth);
   void send_ack(const message& req, std::uint32_t depth, outputs& out);
   [[nodiscard]] std::uint64_t fresh_token() { return next_token_++; }
   void arm_timer(outputs& out);
@@ -138,7 +167,7 @@ class quorum_core final : public register_core {
   std::int64_t rec_ = 0;    // recovery counter (paper Fig. 5: rec)
   std::int64_t wsn_ = 0;    // local write counter (single-writer variants)
   client_state cl_;
-  std::map<std::uint64_t, pending_log> pending_logs_;
+  flat_hash_map<std::uint64_t, pending_log, token_hash> pending_logs_;
   std::uint64_t op_counter_ = 0;
   std::uint64_t next_token_ = 1;
   std::uint64_t epoch_ = 0;

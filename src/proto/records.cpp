@@ -4,9 +4,19 @@ namespace remus::proto {
 
 bytes encode(const tagged_value_record& r) {
   byte_writer w;
+  w.reserve(24 + r.val.size());
   w.put_tag(r.ts);
   w.put_value(r.val);
   return std::move(w).take();
+}
+
+void encode_tagged_value_into(bytes& out, const tag& ts, const value& val) {
+  byte_writer w(std::move(out));
+  w.clear();
+  w.reserve(24 + val.size());
+  w.put_tag(ts);
+  w.put_value(val);
+  out = std::move(w).take();
 }
 
 tagged_value_record decode_tagged_value(const bytes& b) {

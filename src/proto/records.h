@@ -31,6 +31,11 @@ struct tagged_value_record {
 [[nodiscard]] bytes encode(const tagged_value_record& r);
 [[nodiscard]] tagged_value_record decode_tagged_value(const bytes& b);
 
+/// Encode (ts, val) into `out`, reusing its capacity — the allocation-free
+/// path for the per-operation "writing"/"written" logs (no record temporary,
+/// no fresh buffer).
+void encode_tagged_value_into(bytes& out, const tag& ts, const value& val);
+
 struct recovery_record {
   std::int64_t recoveries = 0;
 

@@ -1,0 +1,22 @@
+#include "proto/shared_message.h"
+
+namespace remus::proto {
+
+shared_message message_pool::make(const message& m) {
+  detail::pooled_message* slot;
+  if (free_.empty()) {
+    slots_.push_back(std::make_unique<detail::pooled_message>());
+    slot = slots_.back().get();
+    slot->pool = this;
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  // Copy-assign: the recycled slot's value keeps its capacity, so a payload
+  // no larger than a previous occupant's costs no allocation.
+  slot->msg = m;
+  slot->refs = 1;
+  return shared_message(slot);
+}
+
+}  // namespace remus::proto

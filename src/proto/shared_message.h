@@ -1,0 +1,105 @@
+// Pooled, refcounted, immutable wire messages.
+//
+// A broadcast delivers the same message to n listeners; the pre-refactor
+// simulator copied the full `message` (including its heap-backed value) into
+// every per-recipient closure. A `shared_message` is created once per
+// broadcast from a `message_pool` and shared by every delivery event: copying
+// a handle bumps a (non-atomic — the simulator is single-threaded) refcount,
+// and the final release returns the slot to the pool's freelist. Because a
+// recycled slot keeps its value's vector capacity, refilling it for the next
+// broadcast is allocation-free in steady state.
+//
+// The pool must outlive every handle it produced (the cluster declares its
+// pool before its event queue so destruction order guarantees this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/message.h"
+
+namespace remus::proto {
+
+class message_pool;
+
+namespace detail {
+struct pooled_message {
+  message msg{};
+  std::uint32_t refs = 0;
+  message_pool* pool = nullptr;
+};
+}  // namespace detail
+
+class shared_message {
+ public:
+  shared_message() = default;
+  shared_message(const shared_message& o) noexcept : p_(o.p_) {
+    if (p_) ++p_->refs;
+  }
+  shared_message(shared_message&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  shared_message& operator=(const shared_message& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      if (p_) ++p_->refs;
+    }
+    return *this;
+  }
+  shared_message& operator=(shared_message&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~shared_message() { release(); }
+
+  [[nodiscard]] const message& operator*() const noexcept { return p_->msg; }
+  [[nodiscard]] const message* operator->() const noexcept { return &p_->msg; }
+  [[nodiscard]] explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  void reset() noexcept { release(); }
+
+ private:
+  friend class message_pool;
+  explicit shared_message(detail::pooled_message* p) noexcept : p_(p) {}
+  void release() noexcept;
+
+  detail::pooled_message* p_ = nullptr;
+};
+
+class message_pool {
+ public:
+  message_pool() = default;
+  message_pool(const message_pool&) = delete;
+  message_pool& operator=(const message_pool&) = delete;
+
+  /// Copy `m` into a pooled slot (reusing a retired slot's value capacity
+  /// when one is available) and return the first handle to it.
+  [[nodiscard]] shared_message make(const message& m);
+
+  /// Slots ever created (pool high-water mark).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Slots currently referenced by live handles.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  friend class shared_message;
+  void recycle(detail::pooled_message* p) noexcept { free_.push_back(p); }
+
+  std::vector<std::unique_ptr<detail::pooled_message>> slots_;
+  std::vector<detail::pooled_message*> free_;
+};
+
+inline void shared_message::release() noexcept {
+  if (p_ == nullptr) return;
+  if (--p_->refs == 0) p_->pool->recycle(p_);
+  p_ = nullptr;
+}
+
+}  // namespace remus::proto

@@ -78,7 +78,7 @@ void node::pump(std::unique_lock<std::mutex>& lk, proto::outputs& out) {
   // Synchronous stores: the executing thread blocks on the disk while other
   // threads keep serving (the paper's two-thread structure). The store runs
   // outside the core mutex; completion feeds back in afterwards.
-  std::vector<proto::log_request> logs = std::move(out.logs);
+  remus::recycling_vector<proto::log_request> logs = std::move(out.logs);
   out.logs.clear();
   for (proto::log_request& lr : logs) {
     auto& store = core_->stable_storage();

@@ -7,8 +7,14 @@ namespace remus::sim {
 time_ns disk_model::issue(time_ns now, std::size_t size_bytes) {
   time_ns service = cfg_.base_latency;
   if (cfg_.bandwidth_bps > 0) {
-    service += static_cast<time_ns>(
-        (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+    // Record sizes repeat run-long; memoize the last transfer time to keep
+    // the 128-bit division off the per-store path (result is bit-identical).
+    if (size_bytes != memo_size_) {
+      memo_size_ = size_bytes;
+      memo_transfer_ = static_cast<time_ns>(
+          (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+    }
+    service += memo_transfer_;
   }
   const time_ns start = std::max(now, free_at_);
   free_at_ = start + service;

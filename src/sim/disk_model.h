@@ -42,6 +42,9 @@ class disk_model {
   disk_config cfg_;
   time_ns free_at_ = 0;
   std::uint64_t issued_ = 0;
+  // Last (size -> transfer time) pair; store sizes repeat run-long.
+  std::size_t memo_size_ = ~std::size_t{0};
+  time_ns memo_transfer_ = 0;
 };
 
 }  // namespace remus::sim

@@ -1,44 +1,276 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
+#include <utility>
 
 namespace remus::sim {
 
-event_queue::token event_queue::schedule_at(time_ns at, action fn) {
-  if (at < now_) throw driver_error("event_queue: scheduling into the past");
-  const token id = next_id_++;
-  heap_.push(entry{at, id, std::move(fn)});
-  ++live_;
-  return id;
+namespace {
+constexpr time_ns no_time = std::numeric_limits<time_ns>::max();
+}  // namespace
+
+event_queue::token event_queue::schedule_event(time_ns at, sim_event ev) {
+  const auto [idx, s] = acquire_slot(at);
+  s->ev = std::move(ev);
+  return commit(at, idx);
 }
 
-bool event_queue::is_cancelled(token t) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), t) != cancelled_.end();
+void event_queue::ring_insert(const heap_entry& e, slot& s) {
+  const std::uint32_t b =
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(e.at) >> bucket_shift) &
+      (ring_size - 1);
+  bucket& bk = ring_[b];
+  if (bk.head == bk.v.size()) {  // becoming occupied
+    bk.v.clear();
+    bk.head = 0;
+    occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+  // Sorted insert from the back; in practice appends, since a bucket spans
+  // ~1 us and near-simultaneous events arrive in seq order.
+  bk.v.push_back(e);
+  for (std::size_t i = bk.v.size() - 1; i > bk.head && before(e, bk.v[i - 1]); --i) {
+    bk.v[i] = bk.v[i - 1];
+    bk.v[i - 1] = e;
+  }
+  ++ring_count_;
+  s.heap_pos = b;
+}
+
+void event_queue::commit_far(const heap_entry& e, slot& s, time_ns delta) {
+  if (delta < w2_horizon) {
+    const std::uint32_t b = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(e.at) >> w2_shift) & (w2_size - 1));
+    bucket& bk = w2_[b];
+    if (bk.v.empty()) w2_occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    bk.v.push_back(e);  // unsorted; the cascade into the ring orders it
+    ++w2_count_;
+    s.heap_pos = b | w2_flag;
+  } else {
+    const std::uint32_t pos = static_cast<std::uint32_t>(far_.size());
+    far_.emplace_back();
+    far_sift_up(pos, e);
+    flush_due_ = std::min(flush_due_, far_[0].at - far_horizon + 1);
+  }
+}
+
+void event_queue::far_sift_up(std::uint32_t pos, heap_entry e) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!before(e, far_[parent])) break;
+    far_[pos] = far_[parent];
+    slot_at(far_[pos].idx).heap_pos = pos | far_flag;
+    pos = parent;
+  }
+  far_[pos] = e;
+  slot_at(e.idx).heap_pos = pos | far_flag;
+}
+
+void event_queue::far_sift_down(std::uint32_t pos, heap_entry e) {
+  const std::uint32_t n = static_cast<std::uint32_t>(far_.size());
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child = std::min(first_child + 4, n);
+    for (std::uint32_t c = first_child + 1; c < last_child; ++c) {
+      if (before(far_[c], far_[best])) best = c;
+    }
+    if (!before(far_[best], e)) break;
+    far_[pos] = far_[best];
+    slot_at(far_[pos].idx).heap_pos = pos | far_flag;
+    pos = best;
+  }
+  far_[pos] = e;
+  slot_at(e.idx).heap_pos = pos | far_flag;
+}
+
+void event_queue::far_remove(std::uint32_t pos) {
+  const heap_entry moved = far_.back();
+  far_.pop_back();
+  if (pos == static_cast<std::uint32_t>(far_.size())) return;
+  // The replacement may need to move either direction.
+  far_sift_down(pos, moved);
+  if ((slot_at(moved.idx).heap_pos & ~far_flag) == pos) far_sift_up(pos, moved);
+}
+
+std::uint32_t event_queue::first_bucket() const {
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(now_) >> bucket_shift) &
+      (ring_size - 1);
+  std::uint32_t word = start >> 6;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (start & 63));
+  for (std::uint32_t scanned = 0;; ++scanned) {
+    if (bits != 0) {
+      return (word << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+    }
+    word = (word + 1) & (ring_size / 64 - 1);
+    bits = occupied_[word];
+    if (scanned > ring_size / 64) {
+      throw driver_error("event_queue: corrupt ring occupancy");
+    }
+  }
+}
+
+void event_queue::pop_bucket(std::uint32_t b) {
+  bucket& bk = ring_[b];
+  if (++bk.head == bk.v.size()) {
+    bk.v.clear();
+    bk.head = 0;
+    occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  }
+  --ring_count_;
+}
+
+void event_queue::advance_flush() {
+  while (!far_.empty() && far_[0].at - now_ < far_horizon) {
+    const heap_entry e = far_[0];
+    far_remove(0);
+    ring_insert(e, slot_at(e.idx));
+  }
+  // Cascade through the bucket containing now() + far_horizon (inclusive):
+  // afterwards every unflushed wheel event is strictly beyond the horizon,
+  // so the ring always holds a complete prefix of the schedule. A flushed
+  // event is at most far_horizon + one wheel bucket out, which must stay
+  // below the ring span (see the static_assert next to the constants).
+  const std::uint64_t target =
+      (static_cast<std::uint64_t>(now_ + far_horizon) >> w2_shift) + 1;
+  while (w2_flushed_ < target) {
+    const std::uint32_t b = static_cast<std::uint32_t>(w2_flushed_ & (w2_size - 1));
+    bucket& bk = w2_[b];
+    if (!bk.v.empty()) {
+      for (const heap_entry& e : bk.v) ring_insert(e, slot_at(e.idx));
+      w2_count_ -= bk.v.size();
+      bk.v.clear();
+      w2_occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    ++w2_flushed_;
+  }
+  // Next time a cascade can matter: the wheel boundary moves into a new
+  // bucket, or the overflow root crosses the horizon.
+  flush_due_ = static_cast<time_ns>(w2_flushed_ << w2_shift) - far_horizon;
+  if (!far_.empty()) {
+    flush_due_ = std::min(flush_due_, far_[0].at - far_horizon + 1);
+  }
+}
+
+time_ns event_queue::next_band_time() const {
+  time_ns t = far_.empty() ? no_time : far_[0].at;
+  if (w2_count_ != 0) {
+    // First occupied wheel bucket at or after the flush boundary.
+    const std::uint32_t start = static_cast<std::uint32_t>(w2_flushed_ & (w2_size - 1));
+    std::uint32_t word = start >> 6;
+    std::uint64_t bits = w2_occupied_[word] & (~std::uint64_t{0} << (start & 63));
+    for (std::uint32_t scanned = 0;; ++scanned) {
+      if (bits != 0) {
+        const std::uint32_t b =
+            (word << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+        const std::uint64_t dist = (b - start) & (w2_size - 1);
+        const time_ns bucket_start =
+            static_cast<time_ns>((w2_flushed_ + dist) << w2_shift);
+        // Bucket start is a lower bound on its earliest entry, which is all
+        // the jump needs (the cascade sorts the real times into the ring).
+        t = std::min(t, std::max(bucket_start, now_));
+        break;
+      }
+      word = (word + 1) & (w2_size / 64 - 1);
+      bits = w2_occupied_[word];
+      if (scanned > w2_size / 64) {
+        throw driver_error("event_queue: corrupt wheel occupancy");
+      }
+    }
+  }
+  return t;
+}
+
+time_ns event_queue::jump_to_next_band() {
+  const time_ns t = next_band_time();
+  // Fast-forward is invisible: no event exists in (now, t), and the next
+  // pop sets now() to its own timestamp anyway.
+  if (t > now_) now_ = t;
+  advance_flush();
+  return t;
+}
+
+void event_queue::retire(std::uint32_t idx) {
+  slot& s = slot_at(idx);
+  s.heap_pos = npos;
+  if (++s.gen == 0) s.gen = 1;  // keep tokens nonzero on generation wrap
+  free_.push_back(idx);
 }
 
 bool event_queue::cancel(token t) {
-  if (t == 0 || t >= next_id_ || is_cancelled(t)) return false;
-  cancelled_.push_back(t);
+  const std::uint32_t idx = static_cast<std::uint32_t>(t >> 32);
+  const std::uint32_t gen = static_cast<std::uint32_t>(t);
+  if (idx >= slot_count_) return false;
+  slot& s = slot_at(idx);
+  if (s.gen != gen || s.heap_pos == npos) return false;
+  if (s.heap_pos & far_flag) {
+    far_remove(s.heap_pos & ~far_flag);
+  } else if (s.heap_pos & w2_flag) {
+    const std::uint32_t b = s.heap_pos & ~w2_flag;
+    bucket& bk = w2_[b];
+    for (std::size_t i = 0; i < bk.v.size(); ++i) {
+      if (bk.v[i].idx != idx) continue;
+      bk.v.erase(bk.v.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    if (bk.v.empty()) w2_occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    --w2_count_;
+  } else {
+    const std::uint32_t b = s.heap_pos;
+    bucket& bk = ring_[b];
+    for (std::size_t i = bk.head; i < bk.v.size(); ++i) {
+      if (bk.v[i].idx != idx) continue;
+      bk.v.erase(bk.v.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    if (bk.head == bk.v.size()) {
+      bk.v.clear();
+      bk.head = 0;
+      occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    --ring_count_;
+  }
+  s.ev = sim_event{};  // drop payload (closure, message ref, log buffers) now
+  retire(idx);
   return true;
 }
 
-bool event_queue::step() {
-  while (!heap_.empty()) {
-    entry e = heap_.top();
-    heap_.pop();
-    if (is_cancelled(e.id)) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), e.id),
-                       cancelled_.end());
-      --live_;
-      continue;
-    }
-    now_ = e.at;
-    --live_;
-    ++executed_;
-    e.fn();
-    return true;
+void event_queue::execute_slot(std::uint32_t idx) {
+  // The slot address is stable (chunked arena) and cannot be recycled while
+  // executing: it is out of every band but only retired afterwards.
+  slot& s = slot_at(idx);
+  s.heap_pos = npos;
+  ++executed_;
+  if (s.ev.kind == event_kind::thunk) {
+    s.ev.fn();
+    s.ev.fn = nullptr;  // drop the closure now, not at slot reuse
+  } else {
+    executor_->execute(s.ev);
   }
-  return false;
+  s.ev.msg.reset();  // return the payload to its pool promptly
+  retire(idx);
+}
+
+bool event_queue::step() {
+  if (ring_count_ == 0) {
+    advance_flush();
+    while (ring_count_ == 0) {
+      if (w2_count_ == 0 && far_.empty()) return false;
+      jump_to_next_band();
+    }
+  }
+  const std::uint32_t b = first_bucket();
+  const bucket& bk = ring_[b];
+  const heap_entry& ne = bk.v[bk.head];
+  now_ = ne.at;
+  const std::uint32_t idx = ne.idx;
+  pop_bucket(b);
+  maybe_flush();  // keep the ring complete up to now() + far_horizon
+  execute_slot(idx);
+  return true;
 }
 
 std::uint64_t event_queue::run(std::uint64_t limit) {
@@ -49,18 +281,32 @@ std::uint64_t event_queue::run(std::uint64_t limit) {
 
 std::uint64_t event_queue::run_until(time_ns deadline) {
   std::uint64_t n = 0;
-  while (!heap_.empty()) {
-    // Skip cancelled heads so top().at is a live timestamp.
-    while (!heap_.empty() && is_cancelled(heap_.top().id)) {
-      cancelled_.erase(
-          std::remove(cancelled_.begin(), cancelled_.end(), heap_.top().id),
-          cancelled_.end());
-      heap_.pop();
-      --live_;
+  for (;;) {
+    if (ring_count_ == 0) {
+      advance_flush();
+      while (ring_count_ == 0) {
+        if (w2_count_ == 0 && far_.empty()) goto done;
+        // Jump only if the next band's earliest possible event can still
+        // beat the deadline; otherwise the run is over (and now() must not
+        // overshoot the deadline).
+        if (next_band_time() > deadline) goto done;
+        jump_to_next_band();
+      }
     }
-    if (heap_.empty() || heap_.top().at > deadline) break;
-    if (step()) ++n;
+    {
+      const std::uint32_t b = first_bucket();
+      const bucket& bk = ring_[b];
+      const heap_entry& ne = bk.v[bk.head];
+      if (ne.at > deadline) break;
+      now_ = ne.at;
+      const std::uint32_t idx = ne.idx;
+      pop_bucket(b);
+      maybe_flush();
+      execute_slot(idx);
+      ++n;
+    }
   }
+done:
   if (now_ < deadline) now_ = deadline;
   return n;
 }

@@ -4,35 +4,38 @@
 
 namespace remus::sim {
 
-bool network_model::link_cut(process_id from, process_id to) const {
-  return std::find(cut_.begin(), cut_.end(), std::make_pair(from, to)) != cut_.end();
-}
-
 void network_model::cut_link(process_id from, process_id to) {
-  if (!link_cut(from, to)) cut_.emplace_back(from, to);
+  cut_.insert(link_key(from, to));
 }
 
 void network_model::restore_link(process_id from, process_id to) {
-  cut_.erase(std::remove(cut_.begin(), cut_.end(), std::make_pair(from, to)),
-             cut_.end());
+  cut_.erase(link_key(from, to));
 }
 
 void network_model::restore_all_links() { cut_.clear(); }
 
-std::vector<delivery> network_model::route(time_ns now, process_id from,
-                                           const std::vector<process_id>& tos,
-                                           std::size_t size_bytes,
-                                           std::uint8_t kind,
-                                           std::uint64_t op_seq,
-                                           std::uint32_t round) {
-  std::vector<delivery> out;
-  out.reserve(tos.size());
-
+void network_model::route(time_ns now, process_id from,
+                          const std::vector<process_id>& tos,
+                          std::size_t size_bytes, std::uint8_t kind,
+                          std::uint64_t op_seq, std::uint32_t round,
+                          std::vector<delivery>& out) {
   // One serialization for the whole broadcast (IP multicast on a LAN).
+  // Wire sizes cycle through a handful of values, so a two-entry memo keeps
+  // the 128-bit division off the per-message path (bit-identical results).
   time_ns serialize = 0;
   if (cfg_.bandwidth_bps > 0) {
-    serialize = static_cast<time_ns>(
-        (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+    if (size_bytes == memo_size_[0]) {
+      serialize = memo_serialize_[0];
+    } else if (size_bytes == memo_size_[1]) {
+      serialize = memo_serialize_[1];
+    } else {
+      serialize = static_cast<time_ns>(
+          (static_cast<__int128>(size_bytes) * 1'000'000'000) / cfg_.bandwidth_bps);
+      memo_size_[1] = memo_size_[0];
+      memo_serialize_[1] = memo_serialize_[0];
+      memo_size_[0] = size_bytes;
+      memo_serialize_[0] = serialize;
+    }
   }
   bytes_ += size_bytes;
 
@@ -76,7 +79,6 @@ std::vector<delivery> network_model::route(time_ns now, process_id from,
       out.push_back(delivery{to, at});
     }
   }
-  return out;
 }
 
 }  // namespace remus::sim

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -71,13 +72,23 @@ class network_model {
  public:
   network_model(network_config cfg, rng r) : cfg_(cfg), rng_(r) {}
 
-  /// Route one broadcast (or unicast when `tos` has one entry) sent at `now`.
-  /// Returns the scheduled deliveries (drops excluded, duplicates included).
-  /// Broadcast serialization is charged once (IP multicast).
+  /// Route one broadcast (or unicast when `tos` has one entry) sent at `now`,
+  /// appending the scheduled deliveries (drops excluded, duplicates included)
+  /// to `out`. Broadcast serialization is charged once (IP multicast). The
+  /// caller owns `out` so the hot path can reuse one buffer run-long.
+  void route(time_ns now, process_id from, const std::vector<process_id>& tos,
+             std::size_t size_bytes, std::uint8_t kind, std::uint64_t op_seq,
+             std::uint32_t round, std::vector<delivery>& out);
+
+  /// Convenience form returning a fresh vector (tests, cold paths).
   std::vector<delivery> route(time_ns now, process_id from,
                               const std::vector<process_id>& tos,
                               std::size_t size_bytes, std::uint8_t kind,
-                              std::uint64_t op_seq, std::uint32_t round);
+                              std::uint64_t op_seq, std::uint32_t round) {
+    std::vector<delivery> out;
+    route(now, from, tos, size_bytes, kind, op_seq, round, out);
+    return out;
+  }
 
   void set_filter(packet_filter f) { filter_ = std::move(f); }
   void clear_filter() { filter_ = nullptr; }
@@ -94,12 +105,21 @@ class network_model {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
  private:
-  [[nodiscard]] bool link_cut(process_id from, process_id to) const;
+  /// Directed link key: (from, to) packed into one word for O(1) cut checks.
+  [[nodiscard]] static std::uint64_t link_key(process_id from, process_id to) {
+    return (static_cast<std::uint64_t>(from.index) << 32) | to.index;
+  }
+  [[nodiscard]] bool link_cut(process_id from, process_id to) const {
+    return !cut_.empty() && cut_.contains(link_key(from, to));
+  }
 
   network_config cfg_;
   rng rng_;
   packet_filter filter_;
-  std::vector<std::pair<process_id, process_id>> cut_;
+  std::unordered_set<std::uint64_t> cut_;
+  // Recent (wire size -> serialization time) pairs; sizes cycle run-long.
+  std::size_t memo_size_[2] = {~std::size_t{0}, ~std::size_t{0}};
+  time_ns memo_serialize_[2] = {0, 0};
   std::uint64_t routed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bytes_ = 0;

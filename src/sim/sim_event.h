@@ -1,0 +1,66 @@
+// Typed simulator events.
+//
+// The pre-refactor event queue stored one heap-allocated `std::function`
+// closure per scheduled event. Virtually all simulator traffic falls into a
+// handful of shapes, so events are now a tagged union executed by the world
+// driver (the cluster) through the `sim_executor` interface; the closure form
+// survives as the `thunk` fallback for tests and cold paths.
+//
+// The payload fields are a union-by-convention: each kind reads only its own
+// fields (documented below) and leaves the rest defaulted. Moving a
+// `sim_event` moves its buffers; no field ever needs a deep copy on the hot
+// path (message payloads are refcounted `shared_message` handles shared by
+// every delivery of one broadcast).
+//
+// Layering note: sim/ deliberately depends on proto/message here — the
+// simulator's whole workload is protocol messages, and typing them is what
+// removes the per-event allocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "proto/shared_message.h"
+
+namespace remus::sim {
+
+enum class event_kind : std::uint8_t {
+  none = 0,     // empty slot
+  thunk,        // generic fallback: run `fn`
+  message,      // deliver `msg` to `target`'s core
+  log_done,     // store durable at `target`: token `a`, `log_key`/`log_record`
+  timer,        // protocol timer at `target`: token `a`, guarded by `incarnation`
+  op_dispatch,  // client pump at `target`: op handle `a` (or redispatch)
+  crash,        // fault injection at `target`
+  recover,
+};
+
+/// Sentinel for `sim_event::a` / `incarnation` meaning "no handle / no
+/// incarnation guard".
+inline constexpr std::uint64_t no_event_arg = ~0ULL;
+
+struct sim_event {
+  event_kind kind = event_kind::none;
+  process_id target{};
+  std::uint64_t a = no_event_arg;            // token or op handle (see kinds)
+  std::uint64_t incarnation = no_event_arg;  // guard; no_event_arg = unguarded
+  proto::shared_message msg{};               // message
+  std::string_view log_key{};                // log_done (static-lifetime key)
+  bytes log_record{};                        // log_done
+  std::function<void()> fn{};                // thunk
+};
+
+/// Executes typed events popped by the event queue. Implemented by the world
+/// driver (core::cluster); the queue runs `thunk` events itself.
+class sim_executor {
+ public:
+  virtual void execute(sim_event& ev) = 0;
+
+ protected:
+  ~sim_executor() = default;
+};
+
+}  // namespace remus::sim

@@ -3,14 +3,21 @@
 namespace remus::storage {
 
 void memory_store::store(std::string_view key, const bytes& record) {
-  records_.insert_or_assign(std::string(key), record);
   ++stores_;
+  for (auto& [k, v] : records_) {
+    if (k == key) {
+      v = record;  // copy-assign reuses the stored buffer
+      return;
+    }
+  }
+  records_.emplace_back(std::string(key), record);
 }
 
 std::optional<bytes> memory_store::retrieve(std::string_view key) const {
-  const auto it = records_.find(key);
-  if (it == records_.end()) return std::nullopt;
-  return it->second;
+  for (const auto& [k, v] : records_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
 }
 
 void memory_store::wipe() { records_.clear(); }

@@ -3,8 +3,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/stable_store.h"
 
@@ -21,7 +22,10 @@ class memory_store final : public stable_store {
   [[nodiscard]] std::size_t footprint() const;
 
  private:
-  std::map<std::string, bytes, std::less<>> records_;
+  // The algorithms use three fixed record keys ("writing", "written",
+  // "recovered"); a linear scan beats a tree and stays allocation-free on
+  // the per-log store path (the value buffer is reused in place).
+  std::vector<std::pair<std::string, bytes>> records_;
   std::uint64_t stores_ = 0;
 };
 

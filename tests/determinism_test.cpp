@@ -1,0 +1,132 @@
+// Determinism regression: a run is a pure function of (configuration, seed).
+// Two clusters driven identically must produce bit-identical histories,
+// tagged operations, metrics, and event counts — across fault-free and
+// crash-heavy schedules. This pins the typed-event/calendar-queue rewrite to
+// the exact semantics of the original closure-based simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "history/tag_order.h"
+#include "proto/policy.h"
+#include "sim/fault_plan.h"
+
+namespace remus::core {
+namespace {
+
+cluster_config make_cfg(std::uint64_t seed) {
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::persistent_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cfg.seed = seed;
+  cfg.net.jitter = 8_us;
+  cfg.net.drop_probability = 0.05;
+  cfg.net.duplicate_probability = 0.02;
+  return cfg;
+}
+
+/// Mixed workload: writes and reads from every process, plus (optionally) a
+/// randomized crash/recovery plan derived from the same seed.
+void drive(cluster& c, std::uint64_t seed, bool faults) {
+  rng r(seed ^ 0xfeedULL);
+  std::uint32_t v = 1;
+  for (time_ns t = 0; t < 200_ms; t += 2_ms) {
+    for (std::uint32_t p = 0; p < c.size(); ++p) {
+      const time_ns at = t + static_cast<time_ns>(r.next_below(1'500'000));
+      if (r.chance(0.5)) {
+        c.submit_write(process_id{p}, value_of_u32(v++), at);
+      } else {
+        c.submit_read(process_id{p}, at);
+      }
+    }
+  }
+  if (faults) {
+    sim::random_plan_config pc;
+    pc.n = c.size();
+    pc.crashes = 6;
+    pc.horizon = 150_ms;
+    pc.min_down = 5_ms;
+    pc.max_down = 30_ms;
+    rng fr(seed ^ 0xfa117ULL);
+    c.apply(sim::make_random_plan(pc, fr));
+  }
+  ASSERT_TRUE(c.run_until_idle());
+}
+
+void expect_identical(const cluster& a, const cluster& b) {
+  EXPECT_EQ(a.events_executed(), b.events_executed());
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.recovery_stores(), b.recovery_stores());
+  for (std::uint32_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a.durable_stores(process_id{p}), b.durable_stores(process_id{p}));
+  }
+
+  const auto ta = a.tagged_operations();
+  const auto tb = b.tagged_operations();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].is_read, tb[i].is_read) << "op " << i;
+    EXPECT_EQ(ta[i].p, tb[i].p) << "op " << i;
+    EXPECT_EQ(ta[i].applied, tb[i].applied) << "op " << i;
+    EXPECT_EQ(ta[i].val, tb[i].val) << "op " << i;
+    EXPECT_EQ(ta[i].invoked_at, tb[i].invoked_at) << "op " << i;
+    EXPECT_EQ(ta[i].replied_at, tb[i].replied_at) << "op " << i;
+  }
+
+  const auto ea = a.events();
+  const auto eb = b.events();
+  ASSERT_EQ(ea.size(), eb.size());
+}
+
+TEST(Determinism, SameSeedSameHistoryFaultFree) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    cluster a(make_cfg(seed));
+    cluster b(make_cfg(seed));
+    drive(a, seed, false);
+    drive(b, seed, false);
+    expect_identical(a, b);
+    // The identical histories must also be correct ones.
+    EXPECT_TRUE(history::check_tag_order(a.tagged_operations()).ok);
+  }
+}
+
+TEST(Determinism, SameSeedSameHistoryCrashHeavy) {
+  for (const std::uint64_t seed : {3ULL, 1234ULL}) {
+    cluster a(make_cfg(seed));
+    cluster b(make_cfg(seed));
+    drive(a, seed, true);
+    drive(b, seed, true);
+    expect_identical(a, b);
+    EXPECT_TRUE(history::check_tag_order(a.tagged_operations()).ok);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Sanity that the equality above is meaningful: different seeds produce
+  // different schedules (timings differ even when values happen to match).
+  cluster a(make_cfg(1));
+  cluster b(make_cfg(2));
+  drive(a, 1, false);
+  drive(b, 2, false);
+  EXPECT_NE(a.now(), b.now());
+}
+
+TEST(Determinism, MetricsAreReproducible) {
+  cluster a(make_cfg(9));
+  cluster b(make_cfg(9));
+  drive(a, 9, true);
+  drive(b, 9, true);
+  const auto ca = a.collect();
+  const auto cb = b.collect();
+  EXPECT_EQ(ca.write_latency_us().mean(), cb.write_latency_us().mean());
+  EXPECT_EQ(ca.read_latency_us().mean(), cb.read_latency_us().mean());
+  EXPECT_EQ(ca.write_messages().mean(), cb.write_messages().mean());
+  EXPECT_EQ(ca.read_messages().mean(), cb.read_messages().mean());
+  EXPECT_EQ(ca.write_total_logs().mean(), cb.write_total_logs().mean());
+  EXPECT_EQ(ca.read_total_logs().mean(), cb.read_total_logs().mean());
+}
+
+}  // namespace
+}  // namespace remus::core

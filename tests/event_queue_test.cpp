@@ -1,0 +1,252 @@
+// Event-queue semantics across the typed-event / calendar-band rewrite:
+// equal-timestamp ordering, eager cancellation (including cancel-after-fire),
+// run_until boundary inclusivity, counter consistency, typed-event dispatch,
+// and cross-band (ring / level-2 wheel / overflow heap) ordering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+
+namespace remus::sim {
+namespace {
+
+TEST(EventQueueOrder, EqualTimestampsRunInInsertionOrder) {
+  event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.run(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(q.now(), 42);
+}
+
+TEST(EventQueueOrder, InterleavedTimesSortGlobally) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.schedule_at(10, [&] { order.push_back(11); });  // ties after the first 10
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
+}
+
+TEST(EventQueueCancel, CancelPreventsExecutionAndIsEager) {
+  event_queue q;
+  int hits = 0;
+  const auto t = q.schedule_at(5, [&] { ++hits; });
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.cancel(t));
+  // Eager: the event leaves the queue immediately.
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(t));  // double-cancel reports failure
+  q.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueueCancel, CancelAfterFireReturnsFalse) {
+  event_queue q;
+  int hits = 0;
+  const auto t = q.schedule_at(5, [&] { ++hits; });
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(q.cancel(t));  // already ran
+  // A recycled slot must not resurrect old tokens.
+  const auto t2 = q.schedule_at(10, [&] { ++hits; });
+  EXPECT_FALSE(q.cancel(t));
+  EXPECT_TRUE(q.cancel(t2));
+}
+
+TEST(EventQueueCancel, CancelBogusTokensReturnsFalse) {
+  event_queue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(~0ULL));
+  q.schedule_at(1, [] {});
+  EXPECT_FALSE(q.cancel(0));
+  q.run();
+}
+
+TEST(EventQueueCancel, CancelMiddleKeepsOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(1); });
+  const auto t = q.schedule_at(20, [&] { order.push_back(2); });
+  q.schedule_at(20, [&] { order.push_back(22); });
+  q.schedule_at(30, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(t));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 22, 3}));
+}
+
+TEST(EventQueueRunUntil, DeadlineIsInclusive) {
+  event_queue q;
+  int hits = 0;
+  q.schedule_at(10, [&] { ++hits; });
+  q.schedule_at(15, [&] { ++hits; });  // exactly at the deadline: runs
+  q.schedule_at(16, [&] { ++hits; });  // one past: stays
+  EXPECT_EQ(q.run_until(15), 2u);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(q.now(), 15);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(EventQueueRunUntil, EmptyRunAdvancesClockOnly) {
+  event_queue q;
+  EXPECT_EQ(q.run_until(500), 0u);
+  EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueueRunUntil, DoesNotOvershootDeadlinePastFarEvents) {
+  event_queue q;
+  int hits = 0;
+  // 50 ms out: lives in the level-2 wheel, far beyond the deadline.
+  q.schedule_at(50'000'000, [&] { ++hits; });
+  q.run_until(3'000'000);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(q.now(), 3'000'000);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(q.now(), 50'000'000);
+}
+
+TEST(EventQueueCounters, PendingAndExecutedStayConsistent) {
+  event_queue q;
+  std::vector<event_queue::token> tokens;
+  for (int i = 0; i < 10; ++i) tokens.push_back(q.schedule_at(i, [] {}));
+  EXPECT_EQ(q.pending(), 10u);
+  EXPECT_TRUE(q.cancel(tokens[3]));
+  EXPECT_TRUE(q.cancel(tokens[7]));
+  EXPECT_EQ(q.pending(), 8u);
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(q.executed(), 4u);
+  EXPECT_EQ(q.pending(), 4u);
+  EXPECT_EQ(q.run(), 4u);
+  EXPECT_EQ(q.executed(), 8u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueBands, OrderHoldsAcrossRingWheelAndOverflow) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(10'000'000'000, [&] { order.push_back(4); });  // overflow heap
+  q.schedule_at(500'000'000, [&] { order.push_back(3); });     // level-2 wheel
+  q.schedule_at(10'000'000, [&] { order.push_back(2); });      // level-2 wheel
+  q.schedule_at(100, [&] { order.push_back(1); });             // calendar ring
+  EXPECT_EQ(q.pending(), 4u);
+  EXPECT_EQ(q.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), 10'000'000'000);
+}
+
+TEST(EventQueueBands, CancelWorksInEveryBand) {
+  event_queue q;
+  int hits = 0;
+  const auto ring = q.schedule_at(100, [&] { ++hits; });
+  const auto wheel = q.schedule_at(50'000'000, [&] { ++hits; });
+  const auto overflow = q.schedule_at(10'000'000'000, [&] { ++hits; });
+  EXPECT_TRUE(q.cancel(wheel));
+  EXPECT_TRUE(q.cancel(overflow));
+  EXPECT_TRUE(q.cancel(ring));
+  EXPECT_TRUE(q.empty());
+  q.run();
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(EventQueueBands, FarEventsSortAgainstLateRingInserts) {
+  // An event scheduled far ahead must still order by (time, insertion seq)
+  // against events scheduled near its time much later.
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(6'000'000, [&] { order.push_back(1); });  // wheel at schedule time
+  q.schedule_at(5'000'000, [&] {
+    // now = 5 ms: the 6 ms event has cascaded into the ring; this sibling
+    // shares its timestamp but was scheduled later, so it runs second.
+    q.schedule_at(6'000'000, [&] { order.push_back(2); });
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueScheduling, IntoThePastThrows) {
+  event_queue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), driver_error);
+}
+
+TEST(EventQueueTyped, ExecutorReceivesTypedEvents) {
+  struct capture final : sim_executor {
+    std::vector<sim_event> seen;
+    void execute(sim_event& ev) override {
+      sim_event copy;
+      copy.kind = ev.kind;
+      copy.target = ev.target;
+      copy.a = ev.a;
+      copy.incarnation = ev.incarnation;
+      copy.log_key = ev.log_key;
+      copy.log_record = ev.log_record;
+      seen.push_back(std::move(copy));
+    }
+  } exec;
+  event_queue q;
+  q.set_executor(&exec);
+  q.schedule_plain(30, event_kind::timer, process_id{2}, 77, 5);
+  q.schedule_plain(10, event_kind::op_dispatch, process_id{1}, 4);
+  bytes record{1, 2, 3};
+  q.schedule_log_done(20, process_id{0}, 9, 1, "written", record);
+  EXPECT_EQ(q.run(), 3u);
+  ASSERT_EQ(exec.seen.size(), 3u);
+  EXPECT_EQ(exec.seen[0].kind, event_kind::op_dispatch);
+  EXPECT_EQ(exec.seen[0].target, process_id{1});
+  EXPECT_EQ(exec.seen[0].a, 4u);
+  EXPECT_EQ(exec.seen[1].kind, event_kind::log_done);
+  EXPECT_EQ(exec.seen[1].log_key, "written");
+  EXPECT_EQ(exec.seen[1].log_record, (bytes{1, 2, 3}));
+  EXPECT_EQ(exec.seen[2].kind, event_kind::timer);
+  EXPECT_EQ(exec.seen[2].a, 77u);
+  EXPECT_EQ(exec.seen[2].incarnation, 5u);
+}
+
+TEST(EventQueueTyped, SharedMessagePayloadIsRefcountedNotCopied) {
+  proto::message_pool pool;
+  proto::message m;
+  m.kind = proto::msg_kind::write;
+  m.from = process_id{1};
+  m.val = value_of_u32(7);
+
+  struct count_exec final : sim_executor {
+    int delivered = 0;
+    const proto::message* payload = nullptr;
+    void execute(sim_event& ev) override {
+      ++delivered;
+      // Every delivery of the broadcast sees the same pooled object.
+      if (payload == nullptr) payload = &*ev.msg;
+      EXPECT_EQ(payload, &*ev.msg);
+      EXPECT_EQ(ev.msg->val, value_of_u32(7));
+    }
+  } exec;
+  event_queue q;
+  q.set_executor(&exec);
+  {
+    const proto::shared_message sh = pool.make(m);
+    for (int i = 0; i < 3; ++i) {
+      q.schedule_message(10 + i, process_id{static_cast<std::uint32_t>(i)}, sh);
+    }
+  }
+  EXPECT_EQ(pool.outstanding(), 1u);  // events keep the payload alive
+  q.run();
+  EXPECT_EQ(exec.delivered, 3);
+  EXPECT_EQ(pool.outstanding(), 0u);  // returned to the pool after delivery
+  EXPECT_EQ(pool.capacity(), 1u);     // one slot served the whole broadcast
+}
+
+}  // namespace
+}  // namespace remus::sim
