@@ -1,0 +1,182 @@
+// KV-namespace throughput: completed operations/sec over the multi-register
+// emulation, swept across key count, key-popularity skew, and batch size.
+//
+// The paper's emulation serves one register; the namespace multiplexes many
+// over the same cluster and batches multi-key operations into single quorum
+// rounds. This bench measures what that buys end to end:
+//
+//   * key count  — 1 (the paper's setting) vs larger namespaces: per-key
+//     state must not slow the hot path,
+//   * skew       — uniform vs YCSB-default Zipf(0.99) hot keys,
+//   * batch size — multi-key ops amortize round-trips; ops/sec counts
+//     *logical* per-key operations, so batching shows up as gain.
+//
+// Each run verifies per-key atomicity (smoke sizes always; full sizes when
+// affordable) — scale numbers from histories that stopped linearizing are
+// worthless. Run with --smoke for a CI-sized run, --json[=PATH] for
+// machine-readable output (BENCH_kv_throughput.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "history/keyed.h"
+#include "sim/kv_workload.h"
+
+namespace {
+
+using namespace remus;
+using namespace remus::bench;
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+}
+
+struct kv_case {
+  const char* name;       // short label ("k64_zipf_b8")
+  std::uint32_t keys;
+  double theta;
+  std::uint32_t batch;
+};
+
+struct kv_result {
+  double wall_ms = 0;
+  std::uint64_t completed_keyed_ops = 0;  // per-key operations (batch = m ops)
+  std::uint64_t events = 0;
+  double keyed_ops_per_sec = 0;
+  double events_per_sec = 0;
+  bool verified = false;
+  bool atomic = true;
+  std::size_t keys_checked = 0;
+};
+
+kv_result run_case(const kv_case& kc, std::uint32_t ops, std::uint64_t seed) {
+  auto cfg = paper_testbed(proto::persistent_policy(), 3, seed);
+  core::cluster c(cfg);
+
+  sim::kv_workload_config wc;
+  wc.n = cfg.n;
+  wc.key_count = kc.keys;
+  wc.zipf_theta = kc.theta;
+  wc.read_fraction = 0.5;
+  wc.batch_size = kc.batch;
+  wc.ops = ops;
+  wc.seed = seed;
+  const auto workload = sim::make_kv_workload(wc);
+
+  std::vector<core::cluster::op_handle> handles;
+  handles.reserve(workload.size());
+  std::vector<proto::write_op> batch_ops;
+  std::vector<register_id> batch_regs;
+  for (const sim::kv_op& op : workload) {
+    if (op.entries.size() == 1) {
+      if (op.is_read) {
+        handles.push_back(c.submit_read(op.p, op.entries[0].reg, op.at));
+      } else {
+        handles.push_back(c.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at));
+      }
+    } else if (op.is_read) {
+      batch_regs.clear();
+      for (const auto& e : op.entries) batch_regs.push_back(e.reg);
+      handles.push_back(c.submit_read_batch(op.p, batch_regs, op.at));
+    } else {
+      batch_ops.clear();
+      for (const auto& e : op.entries) batch_ops.push_back({e.reg, e.val});
+      handles.push_back(c.submit_write_batch(op.p, batch_ops, op.at));
+    }
+  }
+
+  kv_result r;
+  const std::uint64_t e0 = c.events_executed();
+  const auto t0 = clock_type::now();
+  c.run_until_idle(500'000'000);
+  r.wall_ms = ms_since(t0);
+  r.events = c.events_executed() - e0;
+  for (const auto h : handles) {
+    const auto& res = c.result(h);
+    if (!res.completed) continue;
+    r.completed_keyed_ops += res.is_batch ? res.batch_result.size() : 1;
+  }
+  r.keyed_ops_per_sec =
+      r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.completed_keyed_ops) / r.wall_ms : 0;
+  r.events_per_sec =
+      r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.events) / r.wall_ms : 0;
+
+  // Verify per-key atomicity when the history is small enough for the
+  // polynomial checker to be cheap (always true in smoke mode).
+  if (ops <= 4000) {
+    const auto verdict = history::check_persistent_atomicity_per_key(c.events());
+    r.verified = true;
+    r.atomic = verdict.ok;
+    r.keys_checked = verdict.keys_checked;
+    if (!verdict.ok) {
+      std::fprintf(stderr, "ATOMICITY VIOLATION (%s): %s\n", kc.name,
+                   verdict.explanation.c_str());
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = flag_present(argc, argv, "--smoke");
+  const std::uint32_t ops = smoke ? 800 : 20000;
+  const int reps = smoke ? 1 : 3;
+
+  const std::vector<kv_case> cases = {
+      {"k1_uniform_b1", 1, 0.0, 1},        // the paper's single register
+      {"k64_uniform_b1", 64, 0.0, 1},
+      {"k64_zipf_b1", 64, 0.99, 1},
+      {"k1024_zipf_b1", 1024, 0.99, 1},
+      {"k64_uniform_b8", 64, 0.0, 8},      // batched multi-key traffic
+      {"k1024_zipf_b8", 1024, 0.99, 8},
+  };
+
+  std::printf("== KV namespace throughput (%s, best of %d, n=3 persistent) ==\n",
+              smoke ? "smoke" : "full", reps);
+  metrics::table t({"case", "keyed ops/s", "Mevents/s", "ops", "wall ms", "atomic"});
+
+  json_report rep("kv_throughput");
+  rep.set("mode", smoke ? "smoke" : "full");
+  rep.set("logical_ops_submitted", static_cast<double>(ops));
+
+  bool all_atomic = true;
+  for (const kv_case& kc : cases) {
+    kv_result best;
+    for (int i = 0; i < reps; ++i) {
+      const auto r = run_case(kc, ops, 1 + static_cast<std::uint64_t>(i));
+      if (r.keyed_ops_per_sec > best.keyed_ops_per_sec || i == 0) best = r;
+      if (r.verified && !r.atomic) all_atomic = false;
+    }
+    t.add_row({kc.name, metrics::table::num(best.keyed_ops_per_sec, 0),
+               metrics::table::num(best.events_per_sec / 1e6, 2),
+               metrics::table::num(static_cast<double>(best.completed_keyed_ops), 0),
+               metrics::table::num(best.wall_ms, 1),
+               best.verified ? (best.atomic ? "yes" : "NO") : "-"});
+    const std::string prefix = kc.name;
+    rep.set(prefix + "_keyed_ops_per_sec", best.keyed_ops_per_sec);
+    rep.set(prefix + "_events_per_sec", best.events_per_sec);
+    rep.set(prefix + "_completed_keyed_ops",
+            static_cast<double>(best.completed_keyed_ops));
+    if (best.verified) {
+      rep.set(prefix + "_atomic_per_key", best.atomic ? 1.0 : 0.0);
+      rep.set(prefix + "_keys_checked", static_cast<double>(best.keys_checked));
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(keyed ops count per-register operations, so batch cases credit "
+              "each key an op; per-key atomicity verified where marked)\n\n");
+
+  rep.write_if_requested(argc, argv);
+
+  if (!all_atomic) {
+    std::fprintf(stderr, "FAIL: a run violated per-key atomicity\n");
+    return 1;
+  }
+  return 0;
+}

@@ -26,6 +26,15 @@ struct process_id {
 /// A value that orders invalid() last, handy for "no process yet" defaults.
 inline constexpr process_id no_process{};
 
+/// Name of one register of the emulated namespace. The paper emulates a
+/// single register; the multi-register extension multiplexes N of them over
+/// one cluster, and every wire message / stable record / history event is
+/// keyed by this identifier. Dense small integers keep the key hashable and
+/// wire-compact; register 0 is the default (the paper's single register).
+using register_id = std::uint32_t;
+
+inline constexpr register_id default_register = 0;
+
 /// Identifier of one operation execution (read or write) at one process.
 /// Unique per (process, incarnation-independent counter): the counter is
 /// restored from stable storage on recovery where the algorithm requires it.

@@ -70,12 +70,14 @@ std::uint64_t cluster::durable_stores(process_id p) const {
 
 // ---- Workload scheduling ----------------------------------------------------
 
-cluster::op_handle cluster::submit_write(process_id p, value v, time_ns at) {
+cluster::op_handle cluster::submit_write(process_id p, register_id reg, value v,
+                                         time_ns at) {
   (void)node_at(p);  // validate
   op_result r;
   r.submitted = true;
   r.is_read = false;
   r.p = p;
+  r.reg = reg;
   r.v = std::move(v);
   results_.push_back(std::move(r));
   const op_handle h = results_.size() - 1;
@@ -83,12 +85,47 @@ cluster::op_handle cluster::submit_write(process_id p, value v, time_ns at) {
   return h;
 }
 
-cluster::op_handle cluster::submit_read(process_id p, time_ns at) {
+cluster::op_handle cluster::submit_read(process_id p, register_id reg, time_ns at) {
   (void)node_at(p);
   op_result r;
   r.submitted = true;
   r.is_read = true;
   r.p = p;
+  r.reg = reg;
+  results_.push_back(std::move(r));
+  const op_handle h = results_.size() - 1;
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::op_dispatch, p, h);
+  return h;
+}
+
+cluster::op_handle cluster::submit_write_batch(process_id p,
+                                               std::vector<proto::write_op> ops,
+                                               time_ns at) {
+  (void)node_at(p);
+  if (ops.empty()) throw driver_error("cluster: empty write batch");
+  op_result r;
+  r.submitted = true;
+  r.is_read = false;
+  r.is_batch = true;
+  r.p = p;
+  r.batch_args = std::move(ops);
+  results_.push_back(std::move(r));
+  const op_handle h = results_.size() - 1;
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::op_dispatch, p, h);
+  return h;
+}
+
+cluster::op_handle cluster::submit_read_batch(process_id p, std::vector<register_id> regs,
+                                              time_ns at) {
+  (void)node_at(p);
+  if (regs.empty()) throw driver_error("cluster: empty read batch");
+  op_result r;
+  r.submitted = true;
+  r.is_read = true;
+  r.is_batch = true;
+  r.p = p;
+  r.batch_args.reserve(regs.size());
+  for (const register_id reg : regs) r.batch_args.push_back(proto::write_op{reg, {}});
   results_.push_back(std::move(r));
   const op_handle h = results_.size() - 1;
   queue_.schedule_plain(std::max(at, now()), sim::event_kind::op_dispatch, p, h);
@@ -127,16 +164,16 @@ bool cluster::run_until_idle(std::uint64_t max_events) {
 
 void cluster::run_for(time_ns d) { queue_.run_until(now() + d); }
 
-value cluster::read(process_id p) {
-  const op_handle h = submit_read(p, now());
+value cluster::read(process_id p, register_id reg) {
+  const op_handle h = submit_read(p, reg, now());
   while (!results_[h].completed && queue_.step()) {
   }
   if (!results_[h].completed) throw driver_error("cluster: read did not complete");
   return results_[h].v;
 }
 
-void cluster::write(process_id p, value v) {
-  const op_handle h = submit_write(p, std::move(v), now());
+void cluster::write(process_id p, register_id reg, value v) {
+  const op_handle h = submit_write(p, reg, std::move(v), now());
   while (!results_[h].completed && queue_.step()) {
   }
   if (!results_[h].completed) throw driver_error("cluster: write did not complete");
@@ -151,9 +188,25 @@ std::vector<history::tagged_op> cluster::tagged_operations() const {
   std::vector<history::tagged_op> out;
   for (const op_result& r : results_) {
     if (!r.completed) continue;
+    if (r.is_batch) {
+      // A batched op contributes one tagged_op per register it touched.
+      for (const proto::batch_entry& e : r.batch_result) {
+        history::tagged_op op;
+        op.is_read = r.is_read;
+        op.p = r.p;
+        op.reg = e.reg;
+        op.applied = e.ts;
+        op.val = e.val;
+        op.invoked_at = r.invoked_at;
+        op.replied_at = r.completed_at;
+        out.push_back(std::move(op));
+      }
+      continue;
+    }
     history::tagged_op op;
     op.is_read = r.is_read;
     op.p = r.p;
+    op.reg = r.reg;
     op.applied = r.applied;
     op.val = r.v;
     op.invoked_at = r.invoked_at;
@@ -230,13 +283,30 @@ void cluster::dispatch_next_op(process_id p) {
   nd.active_invoked_at = now();
 
   outputs_lease lease(*this);
-  if (inv.is_read) {
-    recorder_.invoke_read(p, now());
-    nd.core->invoke_read(lease.out);
+  const op_result& pending = results_[inv.handle];
+  if (pending.is_batch) {
+    // One invoke event per register: each register's projection of the
+    // history sees a plain single-register operation.
+    if (inv.is_read) {
+      batch_regs_scratch_.clear();
+      for (const proto::write_op& a : pending.batch_args) {
+        recorder_.invoke_read(p, a.reg, now());
+        batch_regs_scratch_.push_back(a.reg);
+      }
+      nd.core->invoke_read_batch(batch_regs_scratch_, lease.out);
+    } else {
+      for (const proto::write_op& a : pending.batch_args) {
+        recorder_.invoke_write(p, a.reg, a.val, now());
+      }
+      nd.core->invoke_write_batch(pending.batch_args, lease.out);
+    }
+  } else if (inv.is_read) {
+    recorder_.invoke_read(p, pending.reg, now());
+    nd.core->invoke_read(pending.reg, lease.out);
   } else {
-    const value& v = results_[inv.handle].v;  // the write's argument
-    recorder_.invoke_write(p, v, now());
-    nd.core->invoke_write(v, lease.out);
+    const value& v = pending.v;  // the write's argument
+    recorder_.invoke_write(p, pending.reg, v, now());
+    nd.core->invoke_write(pending.reg, v, lease.out);
   }
   // Fresh attribution window for this op (its identity is the core's current
   // (epoch, op_seq); effects emitted below match it).
@@ -263,7 +333,7 @@ void cluster::deliver_message(process_id p, const proto::shared_message& mh) {
   execute_effects(p, lease.out);
 }
 
-void cluster::deliver_log_done(process_id p, std::uint64_t token, std::string_view key,
+void cluster::deliver_log_done(process_id p, std::uint64_t token, storage::record_key key,
                                const bytes& record, std::uint64_t incarnation) {
   node& nd = nd_of(p);
   if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) {
@@ -312,7 +382,7 @@ void cluster::execute_effects(process_id p, proto::outputs& out) {
   node& nd = nd_of(p);
 
   for (proto::log_request& lr : out.logs) {
-    const time_ns done_at = nd.disk.issue(now(), lr.record.size() + lr.key.size());
+    const time_ns done_at = nd.disk.issue(now(), lr.record.size() + lr.key.encoded_size());
     ctx_of(nd, lr.ctx).busy_until = done_at;  // synchronous store blocks its thread
     if (lr.op_seq != 0) {
       node& o = nd_of(lr.origin);
@@ -361,6 +431,7 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
   r.completed = true;
   r.v = oc.result;
   r.applied = oc.applied;
+  r.batch_result = oc.batch;
   r.invoked_at = nd.active_invoked_at;
   r.completed_at = now();
   r.sample.is_read = oc.is_read;
@@ -370,10 +441,19 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
   r.sample.total_logs = nd.attr_logs;
   r.sample.messages = nd.attr_messages;
 
-  if (oc.is_read) {
-    recorder_.reply_read(p, oc.result, now());
+  if (r.is_batch) {
+    // One reply event per register, mirroring the per-register invokes.
+    for (const proto::batch_entry& e : oc.batch) {
+      if (oc.is_read) {
+        recorder_.reply_read(p, e.reg, e.val, now());
+      } else {
+        recorder_.reply_write(p, e.reg, now());
+      }
+    }
+  } else if (oc.is_read) {
+    recorder_.reply_read(p, oc.reg, oc.result, now());
   } else {
-    recorder_.reply_write(p, now());
+    recorder_.reply_write(p, oc.reg, now());
   }
   nd.active_op.reset();
   dispatch_next_op(p);

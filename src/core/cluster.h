@@ -57,8 +57,18 @@ class cluster final : private sim::sim_executor {
   explicit cluster(cluster_config cfg);
 
   // ---- Workload scheduling (virtual times, >= now()) ----
-  op_handle submit_write(process_id p, value v, time_ns at);
-  op_handle submit_read(process_id p, time_ns at);
+  op_handle submit_write(process_id p, value v, time_ns at) {
+    return submit_write(p, default_register, std::move(v), at);
+  }
+  op_handle submit_read(process_id p, time_ns at) {
+    return submit_read(p, default_register, at);
+  }
+  op_handle submit_write(process_id p, register_id reg, value v, time_ns at);
+  op_handle submit_read(process_id p, register_id reg, time_ns at);
+  /// Batched operations: one protocol operation over a set of distinct
+  /// registers (one quorum round per phase for the whole set).
+  op_handle submit_write_batch(process_id p, std::vector<proto::write_op> ops, time_ns at);
+  op_handle submit_read_batch(process_id p, std::vector<register_id> regs, time_ns at);
   void submit_crash(process_id p, time_ns at);
   void submit_recover(process_id p, time_ns at);
   void apply(const sim::fault_plan& plan, time_ns offset = 0);
@@ -71,8 +81,10 @@ class cluster final : private sim::sim_executor {
   void run_for(time_ns d);
 
   // ---- Synchronous convenience (submit now + run until that op is done) ----
-  value read(process_id p);
-  void write(process_id p, value v);
+  value read(process_id p) { return read(p, default_register); }
+  void write(process_id p, value v) { write(p, default_register, std::move(v)); }
+  value read(process_id p, register_id reg);
+  void write(process_id p, register_id reg, value v);
 
   // ---- Results & introspection ----
   struct op_result {
@@ -80,9 +92,15 @@ class cluster final : private sim::sim_executor {
     bool completed = false;
     bool dropped = false;  // queued behind a crash, never invoked
     bool is_read = false;
+    bool is_batch = false;
     process_id p;
+    register_id reg = default_register;  // single-key ops
     value v;      // read: returned value; write: argument
     tag applied;  // tag returned/written
+    /// Batched ops: the submitted per-register arguments (reads: empty
+    /// values) and, once completed, the per-register (tag, value) results.
+    std::vector<proto::write_op> batch_args;
+    std::vector<proto::batch_entry> batch_result;
     time_ns invoked_at = 0;
     time_ns completed_at = 0;
     metrics::op_sample sample;
@@ -171,7 +189,7 @@ class cluster final : private sim::sim_executor {
   void handle_op_dispatch(const sim::sim_event& ev);
   void dispatch_next_op(process_id p);
   void deliver_message(process_id p, const proto::shared_message& mh);
-  void deliver_log_done(process_id p, std::uint64_t token, std::string_view key,
+  void deliver_log_done(process_id p, std::uint64_t token, storage::record_key key,
                         const bytes& record, std::uint64_t incarnation);
   void deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation);
   void execute_effects(process_id p, proto::outputs& out);
@@ -207,6 +225,7 @@ class cluster final : private sim::sim_executor {
   // Hot-path scratch (single-threaded; none of these cross a reentrant call).
   std::vector<process_id> all_processes_;
   std::vector<process_id> unicast_to_;
+  std::vector<register_id> batch_regs_scratch_;
   std::vector<sim::delivery> route_scratch_;
   // Effect-batch pool: leases nest strictly LIFO (handler reentrancy), so a
   // depth index into the slab list replaces a free list.

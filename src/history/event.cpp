@@ -16,6 +16,9 @@ std::string to_string(event_kind k) {
 
 std::string to_string(const event& e) {
   std::string out = "p" + std::to_string(e.p.index) + " " + to_string(e.kind);
+  if (e.reg != default_register && (e.is_invoke() || e.is_reply())) {
+    out += "[k" + std::to_string(e.reg) + "]";
+  }
   switch (e.kind) {
     case event_kind::invoke_write:
     case event_kind::reply_read:

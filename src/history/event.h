@@ -27,6 +27,11 @@ struct event {
   process_id p;
   value v;
   time_ns at = 0;
+  /// Register the operation targets (invoke/reply events). Crash/recover
+  /// events are process-wide and belong to every register's projection.
+  /// Declared last so four-field aggregate initialization keeps meaning
+  /// "the default register" (the paper's single register).
+  register_id reg = default_register;
 
   [[nodiscard]] bool is_invoke() const {
     return kind == event_kind::invoke_read || kind == event_kind::invoke_write;

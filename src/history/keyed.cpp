@@ -1,0 +1,61 @@
+#include "history/keyed.h"
+
+#include <algorithm>
+
+#include "history/brute_force.h"
+
+namespace remus::history {
+namespace {
+
+using check_fn = check_result (*)(const history_log&, criterion);
+
+keyed_check_result check_with(const history_log& h, criterion c, check_fn check) {
+  keyed_check_result out;
+  for (const register_id reg : keys_of(h)) {
+    out.keys_checked += 1;
+    const history_log proj = project_key(h, reg);
+    const check_result sub = check(proj, c);
+    if (sub.ok) continue;
+    out.ok = false;
+    out.usage_error = sub.usage_error;
+    out.failing_key = reg;
+    out.explanation =
+        "register " + std::to_string(reg) + ": " + sub.explanation;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<register_id> keys_of(const history_log& h) {
+  std::vector<register_id> keys;
+  for (const event& e : h) {
+    if (e.is_invoke() || e.is_reply()) keys.push_back(e.reg);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+history_log project_key(const history_log& h, register_id reg) {
+  history_log out;
+  for (const event& e : h) {
+    if (e.is_invoke() || e.is_reply()) {
+      if (e.reg == reg) out.push_back(e);
+    } else {
+      out.push_back(e);  // crash/recover: process-wide, every projection
+    }
+  }
+  return out;
+}
+
+keyed_check_result check_atomicity_per_key(const history_log& h, criterion c) {
+  return check_with(h, c, &check_atomicity);
+}
+
+keyed_check_result check_atomicity_per_key_brute_force(const history_log& h, criterion c) {
+  return check_with(h, c, &check_atomicity_brute_force);
+}
+
+}  // namespace remus::history

@@ -1,0 +1,58 @@
+// Per-register atomicity checking for the multi-register namespace.
+//
+// Linearizability is compositional (Herlihy & Wing): a history over many
+// registers is atomic iff every register's projection is atomic. The
+// projection of a keyed history onto register k keeps k's invoke/reply
+// events plus every crash/recover event (crashes are process-wide: a crash
+// cuts short the process's pending operation on *every* register), so each
+// projection is a well-formed single-register history and the existing
+// polynomial checker (atomicity.h) applies unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/atomicity.h"
+#include "history/event.h"
+#include "history/operations.h"
+
+namespace remus::history {
+
+/// Distinct registers appearing in `h`'s invoke/reply events, ascending.
+[[nodiscard]] std::vector<register_id> keys_of(const history_log& h);
+
+/// The single-register projection of `h` onto `reg` (see file comment).
+[[nodiscard]] history_log project_key(const history_log& h, register_id reg);
+
+struct keyed_check_result {
+  bool ok = true;
+  /// Human-readable account of the violation, naming the failing register.
+  std::string explanation;
+  /// True when some projection was unusable (ill-formed, duplicate values).
+  bool usage_error = false;
+  /// Register whose projection failed (meaningful when !ok).
+  register_id failing_key = default_register;
+  /// Number of register projections examined.
+  std::size_t keys_checked = 0;
+};
+
+/// Checks every register projection of `h` with check_atomicity; fails on
+/// the first non-atomic (or unusable) projection.
+[[nodiscard]] keyed_check_result check_atomicity_per_key(const history_log& h, criterion c);
+
+/// Same, with the exponential cross-validation checker (tests only; each
+/// projection must stay small — see brute_force.h).
+[[nodiscard]] keyed_check_result check_atomicity_per_key_brute_force(const history_log& h,
+                                                                     criterion c);
+
+/// Convenience wrappers mirroring atomicity.h.
+[[nodiscard]] inline keyed_check_result check_persistent_atomicity_per_key(
+    const history_log& h) {
+  return check_atomicity_per_key(h, criterion::persistent);
+}
+[[nodiscard]] inline keyed_check_result check_transient_atomicity_per_key(
+    const history_log& h) {
+  return check_atomicity_per_key(h, criterion::transient);
+}
+
+}  // namespace remus::history

@@ -9,20 +9,20 @@ void recorder::push(event e) {
   log_.push_back(std::move(e));
 }
 
-void recorder::invoke_read(process_id p, time_ns at) {
-  push(event{event_kind::invoke_read, p, {}, at});
+void recorder::invoke_read(process_id p, register_id reg, time_ns at) {
+  push(event{event_kind::invoke_read, p, {}, at, reg});
 }
 
-void recorder::invoke_write(process_id p, const value& v, time_ns at) {
-  push(event{event_kind::invoke_write, p, v, at});
+void recorder::invoke_write(process_id p, register_id reg, const value& v, time_ns at) {
+  push(event{event_kind::invoke_write, p, v, at, reg});
 }
 
-void recorder::reply_read(process_id p, const value& v, time_ns at) {
-  push(event{event_kind::reply_read, p, v, at});
+void recorder::reply_read(process_id p, register_id reg, const value& v, time_ns at) {
+  push(event{event_kind::reply_read, p, v, at, reg});
 }
 
-void recorder::reply_write(process_id p, time_ns at) {
-  push(event{event_kind::reply_write, p, {}, at});
+void recorder::reply_write(process_id p, register_id reg, time_ns at) {
+  push(event{event_kind::reply_write, p, {}, at, reg});
 }
 
 void recorder::crash(process_id p, time_ns at) {

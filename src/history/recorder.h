@@ -1,6 +1,11 @@
 // History recorder: drivers report invocation/reply/crash/recovery events
 // as they happen; the recorder appends them in real-time order. Thread-safe
 // (the threaded runtime reports from many threads; the simulator from one).
+//
+// Events are keyed by register: the keyed overloads record which register of
+// the namespace an operation targets (a batched operation reports one
+// invoke/reply pair per register), and the unkeyed overloads default to the
+// paper's single register 0.
 #pragma once
 
 #include <mutex>
@@ -11,10 +16,23 @@ namespace remus::history {
 
 class recorder {
  public:
-  void invoke_read(process_id p, time_ns at);
-  void invoke_write(process_id p, const value& v, time_ns at);
-  void reply_read(process_id p, const value& v, time_ns at);
-  void reply_write(process_id p, time_ns at);
+  void invoke_read(process_id p, time_ns at) {
+    invoke_read(p, default_register, at);
+  }
+  void invoke_write(process_id p, const value& v, time_ns at) {
+    invoke_write(p, default_register, v, at);
+  }
+  void reply_read(process_id p, const value& v, time_ns at) {
+    reply_read(p, default_register, v, at);
+  }
+  void reply_write(process_id p, time_ns at) {
+    reply_write(p, default_register, at);
+  }
+
+  void invoke_read(process_id p, register_id reg, time_ns at);
+  void invoke_write(process_id p, register_id reg, const value& v, time_ns at);
+  void reply_read(process_id p, register_id reg, const value& v, time_ns at);
+  void reply_write(process_id p, register_id reg, time_ns at);
   void crash(process_id p, time_ns at);
   void recover(process_id p, time_ns at);
 

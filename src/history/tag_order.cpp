@@ -77,4 +77,17 @@ tag_order_result check_tag_order(const std::vector<tagged_op>& ops,
   return {true, ""};
 }
 
+tag_order_result check_tag_order_per_key(const std::vector<tagged_op>& ops,
+                                         bool check_read_monotonicity) {
+  std::map<register_id, std::vector<tagged_op>> by_reg;
+  for (const auto& op : ops) by_reg[op.reg].push_back(op);
+  for (const auto& [reg, group] : by_reg) {
+    const auto res = check_tag_order(group, check_read_monotonicity);
+    if (!res.ok) {
+      return {false, "register " + std::to_string(reg) + ": " + res.explanation};
+    }
+  }
+  return {true, ""};
+}
+
 }  // namespace remus::history

@@ -30,6 +30,7 @@ namespace remus::history {
 struct tagged_op {
   bool is_read = false;
   process_id p;
+  register_id reg = default_register;
   tag applied;
   value val;  // write: argument; read: returned value
   time_ns invoked_at = 0;
@@ -43,5 +44,11 @@ struct tag_order_result {
 
 [[nodiscard]] tag_order_result check_tag_order(const std::vector<tagged_op>& ops,
                                                bool check_read_monotonicity = true);
+
+/// Multi-register namespaces order tags per register: group `ops` by
+/// register and check each group independently (batched operations appear
+/// as one tagged_op per register they touched).
+[[nodiscard]] tag_order_result check_tag_order_per_key(const std::vector<tagged_op>& ops,
+                                                       bool check_read_monotonicity = true);
 
 }  // namespace remus::history

@@ -18,6 +18,7 @@
 #include "common/timestamp.h"
 #include "common/value.h"
 #include "proto/message.h"
+#include "storage/stable_store.h"
 
 namespace remus::proto {
 
@@ -36,9 +37,9 @@ struct broadcast_request {
 };
 
 struct log_request {
-  /// Record key — always one of the static record-key constants
-  /// (records.h), so a view is safe and keeps the hot path string-free.
-  std::string_view key;
+  /// Record key: (area, register). Trivially copyable, so the hot path
+  /// stays string-free even with per-register keys.
+  storage::record_key key;
   bytes record;
   /// Completion token: the driver calls on_log_done(token) once durable.
   std::uint64_t token = 0;
@@ -62,6 +63,8 @@ struct timer_request {
 struct op_outcome {
   std::uint64_t op_seq = 0;
   bool is_read = false;
+  /// Register the (single-key) operation targeted.
+  register_id reg = default_register;
   /// Read: the returned value. Write: the written value (for the recorder).
   value result;
   /// The tag the operation applied (write) or returned (read).
@@ -70,6 +73,9 @@ struct op_outcome {
   std::uint32_t causal_logs = 0;
   /// Round-trips used (communication steps = 2x this).
   std::uint32_t round_trips = 0;
+  /// Batched operations: one (reg, applied tag, result value) per register.
+  /// Empty for single-key operations (result/applied/reg above are used).
+  std::vector<batch_entry> batch;
 };
 
 /// Optional-like completion slot whose reset() keeps the outcome's value

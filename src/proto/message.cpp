@@ -25,6 +25,13 @@ bytes encode(const message& m) {
   w.put_tag(m.ts);
   w.put_value(m.val);
   w.put_u32(m.log_depth);
+  w.put_u32(m.reg);
+  w.put_u32(static_cast<std::uint32_t>(m.batch.size()));
+  for (const batch_entry& e : m.batch) {
+    w.put_u32(e.reg);
+    w.put_tag(e.ts);
+    w.put_value(e.val);
+  }
   return std::move(w).take();
 }
 
@@ -41,22 +48,50 @@ message decode_message(const bytes& wire) {
   m.ts = r.get_tag();
   m.val = r.get_value();
   m.log_depth = r.get_u32();
+  m.reg = r.get_u32();
+  const std::uint32_t count = r.get_u32();
+  // Every entry occupies >= 28 wire bytes; an unsatisfiable count is a
+  // malformed message (reject before reserving anything count-sized).
+  if (static_cast<std::size_t>(count) * 28 > r.remaining()) {
+    throw codec_error("message: bad batch count");
+  }
+  m.batch.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    batch_entry e;
+    e.reg = r.get_u32();
+    e.ts = r.get_tag();
+    e.val = r.get_value();
+    m.batch.push_back(std::move(e));
+  }
   r.expect_done();
   return m;
 }
 
 std::size_t wire_size(const message& m) {
   // kind(1) + from(4) + op_seq(8) + round(4) + epoch(8)
-  // + tag(8 + 8 + 4) + value(4 + n) + depth(4)
-  return 1 + 4 + 8 + 4 + 8 + 20 + 4 + m.val.size() + 4;
+  // + tag(8 + 8 + 4) + value(4 + n) + depth(4) + reg(4) + batch count(4)
+  std::size_t sz = 1 + 4 + 8 + 4 + 8 + 20 + 4 + m.val.size() + 4 + 4 + 4;
+  for (const batch_entry& e : m.batch) sz += 4 + 20 + 4 + e.val.size();
+  return sz;
 }
 
 std::string to_string(const message& m) {
   std::string out = to_string(m.kind);
   out += " from p" + std::to_string(m.from.index);
   out += " op" + std::to_string(m.op_seq) + "/r" + std::to_string(m.round);
-  out += " ts=" + remus::to_string(m.ts);
-  if (!m.val.is_initial()) out += " val=" + remus::to_string(m.val);
+  if (m.is_batch()) {
+    out += " batch[";
+    for (std::size_t i = 0; i < m.batch.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "k" + std::to_string(m.batch[i].reg) + ":" + remus::to_string(m.batch[i].ts);
+      if (!m.batch[i].val.is_initial()) out += "=" + remus::to_string(m.batch[i].val);
+    }
+    out += "]";
+  } else {
+    if (m.reg != default_register) out += " k" + std::to_string(m.reg);
+    out += " ts=" + remus::to_string(m.ts);
+    if (!m.val.is_initial()) out += " val=" + remus::to_string(m.val);
+  }
   out += " d=" + std::to_string(m.log_depth);
   return out;
 }

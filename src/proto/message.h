@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/ids.h"
@@ -49,6 +50,17 @@ static_assert(is_ack_kind(msg_kind::sn_ack) && is_ack_kind(msg_kind::write_ack) 
               !is_ack_kind(msg_kind::write) && !is_ack_kind(msg_kind::read_query) &&
               !is_ack_kind(msg_kind::writeback));
 
+/// One register's share of a batched message. Queries list registers
+/// (ts/val defaulted); acknowledgements and update rounds carry the
+/// register's (tag, value).
+struct batch_entry {
+  register_id reg = default_register;
+  tag ts;
+  value val;
+
+  friend bool operator==(const batch_entry&, const batch_entry&) = default;
+};
+
 struct message {
   msg_kind kind = msg_kind::sn_query;
   process_id from;
@@ -61,6 +73,13 @@ struct message {
   value val;
   /// Causal-log tracing metadata (see file comment).
   std::uint32_t log_depth = 0;
+  /// Register this (single-key) message targets. Ignored when `batch` is
+  /// non-empty: a batched message carries one entry per register, so one
+  /// quorum round serves the whole key set (amortized round-trips).
+  register_id reg = default_register;
+  std::vector<batch_entry> batch;
+
+  [[nodiscard]] bool is_batch() const noexcept { return !batch.empty(); }
 
   friend bool operator==(const message&, const message&) = default;
 };

@@ -18,8 +18,28 @@ std::uint32_t quorum_core::quorum_size() const {
   return pol_.wait_for_all ? n_ : n_ / 2 + 1;
 }
 
+tag quorum_core::replica_tag(register_id reg) const {
+  const replica_slot* rs = replicas_.find(reg);
+  return rs != nullptr ? rs->vtag : initial_tag;
+}
+
+value quorum_core::replica_value(register_id reg) const {
+  const replica_slot* rs = replicas_.find(reg);
+  return rs != nullptr ? rs->vval : initial_value();
+}
+
 void quorum_core::check_input_allowed(const char* what) const {
   if (!up_) throw precondition_error(std::string("quorum_core: input while crashed: ") + what);
+}
+
+void quorum_core::check_invocation_allowed(const char* what) const {
+  check_input_allowed(what);
+  if (!ready_) {
+    throw precondition_error(std::string("quorum_core: ") + what + " while recovering");
+  }
+  if (!idle()) {
+    throw precondition_error(std::string("quorum_core: ") + what + " while op in flight");
+  }
 }
 
 message& quorum_core::stage_msg(msg_kind k, std::uint32_t round, std::uint32_t depth) {
@@ -32,7 +52,31 @@ message& quorum_core::stage_msg(msg_kind k, std::uint32_t round, std::uint32_t d
   m.ts = tag{};
   m.val.data.clear();  // keeps capacity: refilling the payload won't allocate
   m.log_depth = depth;
+  m.reg = cl_.reg;
+  m.batch.clear();  // batched phases refill entries after staging
   return m;
+}
+
+quorum_core::batch_slot& quorum_core::claim_slot(std::uint32_t i, register_id r) {
+  if (cl_.batch.size() <= i) cl_.batch.resize(i + 1);
+  batch_slot& s = cl_.batch[i];
+  s.reg = r;
+  s.payload.data.clear();
+  s.pending_tag = tag{};
+  s.max_sn = 0;
+  s.best_tag = tag{};
+  s.best_val.data.clear();
+  s.have_first = false;
+  s.first_tag = tag{};
+  s.first_val.data.clear();
+  return s;
+}
+
+quorum_core::batch_slot* quorum_core::find_slot(register_id r) {
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    if (cl_.batch[i].reg == r) return &cl_.batch[i];
+  }
+  return nullptr;
 }
 
 void quorum_core::arm_timer(outputs& out) {
@@ -53,11 +97,11 @@ void quorum_core::start(outputs& out) {
   (void)out;
   if (started_) throw precondition_error("quorum_core: start() twice");
   started_ = true;
-  vtag_ = initial_tag;
-  vval_ = initial_value();
   if (!pol_.crash_stop) {
-    // Paper Fig. 4/5 Initialize: install the initial stable records. This is
-    // process installation, not a timed operation.
+    // Paper Fig. 4/5 Initialize: install the initial stable records (for the
+    // default register; other registers spring into existence at their first
+    // write and restore to the initial value ⊥ when no record exists). This
+    // is process installation, not a timed operation.
     if (pol_.writer_prelog) {
       store_.store(writing_key, encode(tagged_value_record{initial_tag, initial_value()}));
     }
@@ -68,15 +112,14 @@ void quorum_core::start(outputs& out) {
   }
 }
 
-void quorum_core::invoke_write(const value& v, outputs& out) {
-  check_input_allowed("invoke_write");
-  if (!ready_) throw precondition_error("quorum_core: invoke_write while recovering");
-  if (!idle()) throw precondition_error("quorum_core: invoke_write while op in flight");
+void quorum_core::invoke_write(register_id reg, const value& v, outputs& out) {
+  check_invocation_allowed("invoke_write");
   if (pol_.single_writer && self_.index != 0) {
     throw precondition_error("quorum_core: " + pol_.name + " allows only p0 to write");
   }
 
   cl_.reset();
+  cl_.reg = reg;
   cl_.op_seq = ++op_counter_;
   cl_.is_read = false;
   cl_.payload = v;
@@ -93,12 +136,11 @@ void quorum_core::invoke_write(const value& v, outputs& out) {
   }
 }
 
-void quorum_core::invoke_read(outputs& out) {
-  check_input_allowed("invoke_read");
-  if (!ready_) throw precondition_error("quorum_core: invoke_read while recovering");
-  if (!idle()) throw precondition_error("quorum_core: invoke_read while op in flight");
+void quorum_core::invoke_read(register_id reg, outputs& out) {
+  check_invocation_allowed("invoke_read");
 
   cl_.reset();
+  cl_.reg = reg;
   cl_.op_seq = ++op_counter_;
   cl_.is_read = true;
   cl_.best_tag = initial_tag;
@@ -106,22 +148,105 @@ void quorum_core::invoke_read(outputs& out) {
   begin_phase(phase_kind::read_query, out);
 }
 
+void quorum_core::invoke_write_batch(const std::vector<write_op>& ops, outputs& out) {
+  check_invocation_allowed("invoke_write_batch");
+  if (pol_.single_writer && self_.index != 0) {
+    throw precondition_error("quorum_core: " + pol_.name + " allows only p0 to write");
+  }
+  if (ops.empty()) throw precondition_error("quorum_core: empty write batch");
+
+  cl_.reset();
+  cl_.op_seq = ++op_counter_;
+  cl_.is_read = false;
+  cl_.is_batch = true;
+  cl_.batch_n = static_cast<std::uint32_t>(ops.size());
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (ops[j].reg == ops[i].reg) {
+        throw precondition_error("quorum_core: duplicate register in write batch");
+      }
+    }
+    claim_slot(i, ops[i].reg).payload = ops[i].val;
+  }
+
+  if (pol_.write_query_round) {
+    message& m = stage_msg(msg_kind::sn_query, 1, 0);
+    m.batch.resize(cl_.batch_n);
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+      m.batch[i].reg = cl_.batch[i].reg;
+      m.batch[i].ts = tag{};
+      m.batch[i].val.data.clear();
+    }
+    begin_phase(phase_kind::write_query, out);
+  } else {
+    // Single-writer variants: one counter bump covers the whole batch (the
+    // tag stays per-register monotonic; ties across registers are fine).
+    wsn_ += 1;
+    const tag t{wsn_, pol_.rec_in_tag ? rec_ : 0, self_};
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) cl_.batch[i].pending_tag = t;
+    proceed_after_query(out);
+  }
+}
+
+void quorum_core::invoke_read_batch(const std::vector<register_id>& regs, outputs& out) {
+  check_invocation_allowed("invoke_read_batch");
+  if (regs.empty()) throw precondition_error("quorum_core: empty read batch");
+
+  cl_.reset();
+  cl_.op_seq = ++op_counter_;
+  cl_.is_read = true;
+  cl_.is_batch = true;
+  cl_.batch_n = static_cast<std::uint32_t>(regs.size());
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (regs[j] == regs[i]) {
+        throw precondition_error("quorum_core: duplicate register in read batch");
+      }
+    }
+    claim_slot(i, regs[i]).best_tag = initial_tag;
+  }
+
+  message& m = stage_msg(msg_kind::read_query, 1, 0);
+  m.batch.resize(cl_.batch_n);
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    m.batch[i].reg = cl_.batch[i].reg;
+    m.batch[i].ts = tag{};
+    m.batch[i].val.data.clear();
+  }
+  begin_phase(phase_kind::read_query, out);
+}
+
+void quorum_core::emit_prelog(register_id reg, const tag& ts, const value& val,
+                              outputs& out) {
+  // Paper Fig. 4 line 12: store(writing, sn, v) — the first causal log.
+  log_request& lr = out.logs.emplace_slot();  // recycled: every field assigned
+  lr.key = writing_key_of(reg);
+  encode_tagged_value_into(lr.record, ts, val);
+  lr.token = fresh_token();
+  lr.ctx = exec_context::client;
+  lr.depth_after = cl_.depth + 1;
+  lr.op_seq = cl_.op_seq;
+  lr.origin = self_;
+  lr.epoch = epoch_;
+  pending_log& pl = pending_logs_[lr.token];
+  pl = pending_log{};
+  pl.k = pending_log::kind::writer_prelog;
+  pl.reg = reg;
+  cl_.prelogs_pending += 1;
+}
+
 void quorum_core::proceed_after_query(outputs& out) {
   if (pol_.writer_prelog && !pol_.crash_stop) {
-    // Paper Fig. 4 line 12: store(writing, sn, v) — the first causal log.
     cl_.phase = phase_kind::write_prelog;
-    log_request& lr = out.logs.emplace_slot();  // recycled: every field assigned
-    lr.key = writing_key;
-    encode_tagged_value_into(lr.record, cl_.pending_tag, cl_.payload);
-    lr.token = fresh_token();
-    lr.ctx = exec_context::client;
-    lr.depth_after = cl_.depth + 1;
-    lr.op_seq = cl_.op_seq;
-    lr.origin = self_;
-    lr.epoch = epoch_;
-    pending_log& pl = pending_logs_[lr.token];
-    pl = pending_log{};
-    pl.k = pending_log::kind::writer_prelog;
+    if (cl_.is_batch) {
+      // One (writing) record per register; the stores are concurrent, so
+      // they count one causal-log step for the whole batch.
+      for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+        emit_prelog(cl_.batch[i].reg, cl_.batch[i].pending_tag, cl_.batch[i].payload, out);
+      }
+    } else {
+      emit_prelog(cl_.reg, cl_.pending_tag, cl_.payload, out);
+    }
   } else {
     begin_update_round(out);
   }
@@ -129,8 +254,17 @@ void quorum_core::proceed_after_query(outputs& out) {
 
 void quorum_core::begin_update_round(outputs& out) {
   message& m = stage_msg(msg_kind::write, 2, cl_.depth);
-  m.ts = cl_.pending_tag;
-  m.val = cl_.payload;  // copy-assign into retained capacity
+  if (cl_.is_batch) {
+    m.batch.resize(cl_.batch_n);
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+      m.batch[i].reg = cl_.batch[i].reg;
+      m.batch[i].ts = cl_.batch[i].pending_tag;
+      m.batch[i].val = cl_.batch[i].payload;  // copy-assign into retained capacity
+    }
+  } else {
+    m.ts = cl_.pending_tag;
+    m.val = cl_.payload;  // copy-assign into retained capacity
+  }
   begin_phase(phase_kind::write_update, out);
 }
 
@@ -138,8 +272,31 @@ void quorum_core::finish_operation(outputs& out) {
   op_outcome& oc = out.completion.emplace();
   oc.op_seq = cl_.op_seq;
   oc.is_read = cl_.is_read;
+  oc.reg = cl_.reg;
   oc.causal_logs = cl_.depth;
-  if (cl_.is_read) {
+  oc.batch.clear();
+  if (cl_.is_batch) {
+    oc.result.data.clear();
+    oc.applied = tag{};
+    oc.batch.resize(cl_.batch_n);
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+      const batch_slot& s = cl_.batch[i];
+      batch_entry& e = oc.batch[i];
+      e.reg = s.reg;
+      if (cl_.is_read) {
+        if (pol_.read_return_first) {
+          e.ts = s.first_tag;
+          e.val = s.first_val;
+        } else {
+          e.ts = s.best_tag;
+          e.val = s.best_val;
+        }
+      } else {
+        e.ts = s.pending_tag;
+        e.val = s.payload;
+      }
+    }
+  } else if (cl_.is_read) {
     if (pol_.read_return_first) {
       oc.result = cl_.first_val;
       oc.applied = cl_.first_tag;
@@ -147,10 +304,13 @@ void quorum_core::finish_operation(outputs& out) {
       oc.result = cl_.best_val;
       oc.applied = cl_.best_tag;
     }
-    oc.round_trips = pol_.read_writeback ? 2 : 1;
   } else {
     oc.result = cl_.payload;
     oc.applied = cl_.pending_tag;
+  }
+  if (cl_.is_read) {
+    oc.round_trips = pol_.read_writeback ? 2 : 1;
+  } else {
     oc.round_trips = pol_.write_query_round ? 2 : 1;
   }
   cl_.reset();
@@ -172,18 +332,40 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
   switch (cl_.phase) {
     case phase_kind::write_query:
       if (m.kind != msg_kind::sn_ack) return;
-      cl_.max_sn = std::max(cl_.max_sn, m.ts.sn);
+      if (cl_.is_batch) {
+        for (const batch_entry& e : m.batch) {
+          if (batch_slot* s = find_slot(e.reg)) s->max_sn = std::max(s->max_sn, e.ts.sn);
+        }
+      } else {
+        cl_.max_sn = std::max(cl_.max_sn, m.ts.sn);
+      }
       break;
     case phase_kind::read_query: {
       if (m.kind != msg_kind::read_ack) return;
-      if (!cl_.have_first) {
-        cl_.have_first = true;
-        cl_.first_tag = m.ts;
-        cl_.first_val = m.val;
-      }
-      if (cl_.best_tag < m.ts) {
-        cl_.best_tag = m.ts;
-        cl_.best_val = m.val;
+      if (cl_.is_batch) {
+        for (const batch_entry& e : m.batch) {
+          batch_slot* s = find_slot(e.reg);
+          if (s == nullptr) continue;
+          if (!s->have_first) {
+            s->have_first = true;
+            s->first_tag = e.ts;
+            s->first_val = e.val;
+          }
+          if (s->best_tag < e.ts) {
+            s->best_tag = e.ts;
+            s->best_val = e.val;
+          }
+        }
+      } else {
+        if (!cl_.have_first) {
+          cl_.have_first = true;
+          cl_.first_tag = m.ts;
+          cl_.first_val = m.val;
+        }
+        if (cl_.best_tag < m.ts) {
+          cl_.best_tag = m.ts;
+          cl_.best_val = m.val;
+        }
       }
       break;
     }
@@ -207,16 +389,33 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
     case phase_kind::write_query: {
       // Fig. 4 line 11: sn := sn + 1; Fig. 5 line 11: sn := sn + rec + 1.
       const std::int64_t bump = pol_.recovery_counter ? rec_ + 1 : 1;
-      cl_.pending_tag = tag{cl_.max_sn + bump, pol_.rec_in_tag ? rec_ : 0, self_};
-      wsn_ = std::max(wsn_, cl_.pending_tag.sn);
+      if (cl_.is_batch) {
+        for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+          batch_slot& s = cl_.batch[i];
+          s.pending_tag = tag{s.max_sn + bump, pol_.rec_in_tag ? rec_ : 0, self_};
+          wsn_ = std::max(wsn_, s.pending_tag.sn);
+        }
+      } else {
+        cl_.pending_tag = tag{cl_.max_sn + bump, pol_.rec_in_tag ? rec_ : 0, self_};
+        wsn_ = std::max(wsn_, cl_.pending_tag.sn);
+      }
       proceed_after_query(out);
       break;
     }
     case phase_kind::read_query: {
       if (pol_.read_writeback) {
         message& wb = stage_msg(msg_kind::writeback, 2, cl_.depth);
-        wb.ts = cl_.best_tag;
-        wb.val = cl_.best_val;
+        if (cl_.is_batch) {
+          wb.batch.resize(cl_.batch_n);
+          for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+            wb.batch[i].reg = cl_.batch[i].reg;
+            wb.batch[i].ts = cl_.batch[i].best_tag;
+            wb.batch[i].val = cl_.batch[i].best_val;
+          }
+        } else {
+          wb.ts = cl_.best_tag;
+          wb.val = cl_.best_val;
+        }
         begin_phase(phase_kind::read_update, out);
       } else {
         finish_operation(out);
@@ -241,7 +440,7 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
 void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out) {
   send_request& s = out.sends.emplace_slot();
   s.to = req.from;
-  message& ack = s.msg;  // recycled slot: every field assigned below
+  message& ack = s.msg;  // recycled slot: every field assigned
   ack.kind = msg_kind::write_ack;
   ack.from = self_;
   ack.op_seq = req.op_seq;
@@ -250,6 +449,97 @@ void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out
   ack.ts = tag{};
   ack.val.data.clear();
   ack.log_depth = depth;
+  ack.reg = req.reg;
+  ack.batch.clear();
+}
+
+// Update rounds ack a no-adopt duplicate immediately: the drivers guarantee
+// a replica's listener is blocked while its (written) store is in flight
+// (the simulator requeues deliveries past busy_until, and the log_done event
+// sorts before them), so by the time a duplicate is served the first copy's
+// log has landed and the immediate ack is truthful.
+void quorum_core::serve_update(const message& m, outputs& out) {
+  replica_slot* found = replicas_.find(m.reg);
+  const bool adopt = (found != nullptr ? found->vtag : initial_tag) < m.ts;
+  if (adopt) {
+    // Insert only on adoption: registers merely heard about (stale
+    // write-backs of the initial tag, retransmissions) hold no state here.
+    replica_slot& rs = found != nullptr ? *found : replicas_[m.reg];
+    rs.vtag = m.ts;
+    rs.vval = m.val;
+    const bool log_this = !pol_.crash_stop &&
+                          (m.kind == msg_kind::write ? pol_.log_on_adopt
+                                                     : pol_.log_on_read_writeback);
+    if (log_this) {
+      // Fig. 4 line 24: store(written, sn, pid, v) before acking.
+      log_request& lr = out.logs.emplace_slot();  // recycled: all assigned
+      lr.key = written_key_of(m.reg);
+      encode_tagged_value_into(lr.record, rs.vtag, rs.vval);
+      lr.token = fresh_token();
+      lr.ctx = exec_context::listener;
+      lr.depth_after = m.log_depth + 1;
+      lr.op_seq = m.op_seq;
+      lr.origin = m.from;
+      lr.epoch = m.epoch;
+      pending_log& pl = pending_logs_[lr.token];
+      pl = pending_log{};
+      pl.k = pending_log::kind::server_adopt;
+      pl.to = m.from;
+      pl.op_seq = m.op_seq;
+      pl.round = m.round;
+      pl.epoch = m.epoch;
+      pl.depth = m.log_depth + 1;
+      pl.reg = m.reg;
+      return;  // ack deferred until durable
+    }
+  }
+  send_ack(m, m.log_depth, out);
+}
+
+void quorum_core::serve_update_batch(const message& m, outputs& out) {
+  const bool log_this = !pol_.crash_stop &&
+                        (m.kind == msg_kind::write ? pol_.log_on_adopt
+                                                   : pol_.log_on_read_writeback);
+  std::uint32_t logs_needed = 0;
+  std::uint64_t group = 0;
+  for (const batch_entry& e : m.batch) {
+    replica_slot* found = replicas_.find(e.reg);
+    if (!((found != nullptr ? found->vtag : initial_tag) < e.ts)) continue;
+    replica_slot& rs = found != nullptr ? *found : replicas_[e.reg];
+    rs.vtag = e.ts;
+    rs.vval = e.val;
+    if (!log_this) continue;
+    // One (written) log per adopted register; the batched ack fires once
+    // every one of them is durable, so the invoker's quorum still counts
+    // only fully-persistent replicas.
+    if (group == 0) group = fresh_token();
+    log_request& lr = out.logs.emplace_slot();  // recycled: all assigned
+    lr.key = written_key_of(e.reg);
+    encode_tagged_value_into(lr.record, rs.vtag, rs.vval);
+    lr.token = fresh_token();
+    lr.ctx = exec_context::listener;
+    lr.depth_after = m.log_depth + 1;
+    lr.op_seq = m.op_seq;
+    lr.origin = m.from;
+    lr.epoch = m.epoch;
+    pending_log& pl = pending_logs_[lr.token];
+    pl = pending_log{};
+    pl.k = pending_log::kind::server_adopt;
+    pl.reg = e.reg;
+    pl.group = group;
+    ++logs_needed;
+  }
+  if (logs_needed == 0) {
+    send_ack(m, m.log_depth, out);
+    return;
+  }
+  batch_ack& ba = batch_acks_[group];
+  ba.to = m.from;
+  ba.op_seq = m.op_seq;
+  ba.round = m.round;
+  ba.epoch = m.epoch;
+  ba.depth = m.log_depth + 1;
+  ba.remaining = logs_needed;
 }
 
 void quorum_core::serve(const message& m, outputs& out) {
@@ -263,9 +553,21 @@ void quorum_core::serve(const message& m, outputs& out) {
       ack.op_seq = m.op_seq;
       ack.round = m.round;
       ack.epoch = m.epoch;
-      ack.ts = vtag_;
       ack.val.data.clear();
       ack.log_depth = m.log_depth;
+      ack.reg = m.reg;
+      if (m.is_batch()) {
+        ack.ts = tag{};
+        ack.batch.resize(m.batch.size());
+        for (std::size_t i = 0; i < m.batch.size(); ++i) {
+          ack.batch[i].reg = m.batch[i].reg;
+          ack.batch[i].ts = replica_tag(m.batch[i].reg);
+          ack.batch[i].val.data.clear();
+        }
+      } else {
+        ack.ts = replica_tag(m.reg);
+        ack.batch.clear();
+      }
       return;
     }
     case msg_kind::read_query: {
@@ -277,42 +579,44 @@ void quorum_core::serve(const message& m, outputs& out) {
       ack.op_seq = m.op_seq;
       ack.round = m.round;
       ack.epoch = m.epoch;
-      ack.ts = vtag_;
-      ack.val = vval_;  // copy-assign into retained capacity
       ack.log_depth = m.log_depth;
+      ack.reg = m.reg;
+      if (m.is_batch()) {
+        ack.ts = tag{};
+        ack.val.data.clear();
+        ack.batch.resize(m.batch.size());
+        for (std::size_t i = 0; i < m.batch.size(); ++i) {
+          const register_id reg = m.batch[i].reg;
+          ack.batch[i].reg = reg;
+          const replica_slot* rs = replicas_.find(reg);
+          if (rs != nullptr) {
+            ack.batch[i].ts = rs->vtag;
+            ack.batch[i].val = rs->vval;  // copy-assign into retained capacity
+          } else {
+            ack.batch[i].ts = initial_tag;
+            ack.batch[i].val.data.clear();
+          }
+        }
+      } else {
+        const replica_slot* rs = replicas_.find(m.reg);
+        if (rs != nullptr) {
+          ack.ts = rs->vtag;
+          ack.val = rs->vval;  // copy-assign into retained capacity
+        } else {
+          ack.ts = initial_tag;
+          ack.val.data.clear();
+        }
+        ack.batch.clear();
+      }
       return;
     }
     case msg_kind::write:
     case msg_kind::writeback: {
-      const bool adopt = vtag_ < m.ts;
-      if (adopt) {
-        vtag_ = m.ts;
-        vval_ = m.val;
-        const bool log_this = !pol_.crash_stop &&
-                              (m.kind == msg_kind::write ? pol_.log_on_adopt
-                                                         : pol_.log_on_read_writeback);
-        if (log_this) {
-          // Fig. 4 line 24: store(written, sn, pid, v) before acking.
-          log_request& lr = out.logs.emplace_slot();  // recycled: all assigned
-          lr.key = written_key;
-          encode_tagged_value_into(lr.record, vtag_, vval_);
-          lr.token = fresh_token();
-          lr.ctx = exec_context::listener;
-          lr.depth_after = m.log_depth + 1;
-          lr.op_seq = m.op_seq;
-          lr.origin = m.from;
-          lr.epoch = m.epoch;
-          pending_log& pl = pending_logs_[lr.token];
-          pl.k = pending_log::kind::server_adopt;
-          pl.to = m.from;
-          pl.op_seq = m.op_seq;
-          pl.round = m.round;
-          pl.epoch = m.epoch;
-          pl.depth = m.log_depth + 1;
-          return;  // ack deferred until durable
-        }
+      if (m.is_batch()) {
+        serve_update_batch(m, out);
+      } else {
+        serve_update(m, out);
       }
-      send_ack(m, m.log_depth, out);
       return;
     }
     case msg_kind::sn_ack:
@@ -337,6 +641,28 @@ void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
 
   switch (pl.k) {
     case pending_log::kind::server_adopt: {
+      if (pl.group != 0) {
+        // One register of a batched update became durable; ack when the
+        // whole batch has.
+        batch_ack* ba = batch_acks_.find(pl.group);
+        if (ba == nullptr) return;  // stale (pre-crash) group
+        if (--ba->remaining > 0) return;
+        send_request& s = out.sends.emplace_slot();
+        s.to = ba->to;
+        message& ack = s.msg;  // recycled slot: every field assigned
+        ack.kind = msg_kind::write_ack;
+        ack.from = self_;
+        ack.op_seq = ba->op_seq;
+        ack.round = ba->round;
+        ack.epoch = ba->epoch;
+        ack.ts = tag{};
+        ack.val.data.clear();
+        ack.log_depth = ba->depth;
+        ack.reg = default_register;
+        ack.batch.clear();
+        batch_acks_.erase(pl.group);
+        return;
+      }
       send_request& s = out.sends.emplace_slot();
       s.to = pl.to;
       message& ack = s.msg;  // recycled slot: every field assigned
@@ -348,10 +674,14 @@ void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
       ack.ts = tag{};
       ack.val.data.clear();
       ack.log_depth = pl.depth;
+      ack.reg = pl.reg;
+      ack.batch.clear();
       return;
     }
     case pending_log::kind::writer_prelog: {
       if (cl_.phase != phase_kind::write_prelog) return;  // crashed & stale
+      if (cl_.prelogs_pending > 0 && --cl_.prelogs_pending > 0) return;
+      // The batch's concurrent (writing) stores count one causal-log step.
       cl_.depth += 1;
       begin_update_round(out);
       return;
@@ -389,25 +719,29 @@ void quorum_core::crash() {
   if (!up_) return;
   up_ = false;
   ready_ = false;
-  vtag_ = initial_tag;
-  vval_ = initial_value();
+  replicas_.clear();
   rec_ = 0;
   wsn_ = 0;
   cl_ = client_state{};
   pending_logs_.clear();
+  batch_acks_.clear();
   op_counter_ = 0;
 }
 
 void quorum_core::restore_volatile_from_stable() {
-  if (const auto rec = store_.retrieve(written_key)) {
-    const auto tv = decode_tagged_value(*rec);
-    vtag_ = tv.ts;
-    vval_ = tv.val;
-  } else {
-    vtag_ = initial_tag;
-    vval_ = initial_value();
-  }
-  wsn_ = vtag_.sn;
+  // Replay every register's (written) record; registers with no record
+  // restore to the initial value ⊥.
+  replicas_.clear();
+  std::int64_t max_sn = 0;
+  store_.for_each(storage::record_area::written,
+                  [&](register_id reg, const bytes& rec) {
+                    const auto tv = decode_tagged_value(rec);
+                    replica_slot& rs = replicas_[reg];
+                    rs.vtag = tv.ts;
+                    rs.vval = tv.val;
+                    max_sn = std::max(max_sn, tv.ts.sn);
+                  });
+  wsn_ = max_sn;
 }
 
 void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
@@ -445,16 +779,49 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
 
   if (pol_.recovery_finish_write) {
     // Paper Fig. 4 Recover: re-run the write's second round with the logged
-    // (writing) record. Harmless when there was no unfinished write.
-    tagged_value_record w{initial_tag, initial_value()};
-    if (const auto rec = store_.retrieve(writing_key)) w = decode_tagged_value(*rec);
+    // (writing) records — every register with a pre-log, batched into one
+    // round. Harmless when there was no unfinished write (adopt-if-newer).
+    std::vector<std::pair<register_id, tagged_value_record>> pend;  // cold path
+    store_.for_each(storage::record_area::writing,
+                    [&](register_id reg, const bytes& rec) {
+                      pend.emplace_back(reg, decode_tagged_value(rec));
+                      // A pre-logged sequence number was used: never reissue
+                      // it (single-writer variants draw from wsn_; without
+                      // this a recovered writer could mint a duplicate tag
+                      // for a different value and the write would vanish).
+                      wsn_ = std::max(wsn_, pend.back().second.ts.sn);
+                    });
     cl_.reset();
     cl_.op_seq = ++op_counter_;
-    cl_.pending_tag = w.ts;
-    cl_.payload = w.val;
-    message& m = stage_msg(msg_kind::write, 2, 0);
-    m.ts = w.ts;
-    m.val = w.val;
+    if (pend.size() <= 1) {
+      // Zero or one record: the single-register shape (bit-for-bit the
+      // pre-namespace recovery when only the default register was written).
+      tagged_value_record w{initial_tag, initial_value()};
+      if (!pend.empty()) {
+        cl_.reg = pend.front().first;
+        w = std::move(pend.front().second);
+      }
+      cl_.pending_tag = w.ts;
+      cl_.payload = w.val;
+      message& m = stage_msg(msg_kind::write, 2, 0);
+      m.ts = w.ts;
+      m.val = w.val;
+    } else {
+      cl_.is_batch = true;
+      cl_.batch_n = static_cast<std::uint32_t>(pend.size());
+      for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+        batch_slot& s = claim_slot(i, pend[i].first);
+        s.pending_tag = pend[i].second.ts;
+        s.payload = std::move(pend[i].second.val);
+      }
+      message& m = stage_msg(msg_kind::write, 2, 0);
+      m.batch.resize(cl_.batch_n);
+      for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+        m.batch[i].reg = cl_.batch[i].reg;
+        m.batch[i].ts = cl_.batch[i].pending_tag;
+        m.batch[i].val = cl_.batch[i].payload;
+      }
+    }
     begin_phase(phase_kind::recovery_update, out);
     return;
   }

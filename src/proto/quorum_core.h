@@ -2,7 +2,8 @@
 //
 // This is the paper's Figure 4 (persistent) and Figure 5 (transient)
 // pseudocode, plus the crash-stop baseline they extend ([2] in the paper),
-// expressed as one sans-I/O state machine:
+// expressed as one sans-I/O state machine — generalized from one register to
+// a namespace of named registers multiplexed over the same cluster:
 //
 //   Write(v):  round 1  broadcast SN, await majority of SN_acks,
 //                       sn := max + 1        (Fig. 4 line 11)
@@ -17,9 +18,20 @@
 //              round 2  broadcast the write-back; replicas adopt-if-newer
 //                       (logging only when they actually adopt, which is why
 //                       a crash-free uncontended read performs zero logs)
-//   Recover(): restore (written) into volatile state, then
-//              [persistent] re-run round 2 with the logged (writing) record
+//   Recover(): restore every register's (written) record into volatile
+//              state, then
+//              [persistent] re-run round 2 with every logged (writing) record
 //              [transient]  rec := rec + 1; store(recovered, rec)
+//
+// Multi-register semantics: all volatile and stable protocol state is keyed
+// by register_id (the replica map is a flat hash preserving the
+// zero-allocation steady state), and a *batched* invocation runs the same
+// two rounds for a whole set of distinct registers at once — one broadcast
+// carries every key's entry, every ack answers all of them, and a replica
+// acks a batched update only once every adopted key's log is durable. Since
+// linearizability is compositional, each register's projection of the
+// resulting history satisfies the algorithm's criterion independently
+// (checked by history::check_atomicity_per_key).
 //
 // The policy switches (see policy.h) turn individual steps on or off; the
 // flawed variants used by the lower-bound tests are the same machine with a
@@ -44,9 +56,16 @@ class quorum_core final : public register_core {
   quorum_core(protocol_policy pol, process_id self, std::uint32_t n,
               storage::stable_store& store, std::uint64_t initial_epoch);
 
+  using register_core::invoke_read;
+  using register_core::invoke_write;
+  using register_core::replica_tag;
+  using register_core::replica_value;
+
   void start(outputs& out) override;
-  void invoke_write(const value& v, outputs& out) override;
-  void invoke_read(outputs& out) override;
+  void invoke_write(register_id reg, const value& v, outputs& out) override;
+  void invoke_read(register_id reg, outputs& out) override;
+  void invoke_write_batch(const std::vector<write_op>& ops, outputs& out) override;
+  void invoke_read_batch(const std::vector<register_id>& regs, outputs& out) override;
   void on_message(const message& m, outputs& out) override;
   void on_log_done(std::uint64_t token, outputs& out) override;
   void on_timer(std::uint64_t token, outputs& out) override;
@@ -57,8 +76,8 @@ class quorum_core final : public register_core {
   [[nodiscard]] bool ready() const override { return up_ && ready_; }
   [[nodiscard]] bool is_up() const override { return up_; }
   [[nodiscard]] const protocol_policy& policy() const override { return pol_; }
-  [[nodiscard]] tag replica_tag() const override { return vtag_; }
-  [[nodiscard]] value replica_value() const override { return vval_; }
+  [[nodiscard]] tag replica_tag(register_id reg) const override;
+  [[nodiscard]] value replica_value(register_id reg) const override;
 
   /// Recovery-counter value (transient emulation; 0 otherwise).
   [[nodiscard]] std::int64_t recoveries() const { return rec_; }
@@ -70,22 +89,45 @@ class quorum_core final : public register_core {
   [[nodiscard]] std::uint64_t current_op_seq() const { return cl_.op_seq; }
   /// The stable store backing this core (drivers execute log effects on it).
   [[nodiscard]] storage::stable_store& stable_storage() const { return store_; }
+  /// Distinct registers this replica holds state for (diagnostics).
+  [[nodiscard]] std::size_t replica_register_count() const { return replicas_.size(); }
 
  private:
   enum class phase_kind : std::uint8_t {
     idle,
     write_query,     // round 1 of a write (SN)
-    write_prelog,    // waiting for the (writing) store
+    write_prelog,    // waiting for the (writing) store(s)
     write_update,    // round 2 of a write (W)
     read_query,      // round 1 of a read (R)
     read_update,     // round 2 of a read (write-back)
     recovery_update  // persistent recovery's finish-write round
   };
 
+  /// One replica register's volatile state (paper: [sn, pid] and v).
+  struct replica_slot {
+    tag vtag;
+    value vval;
+  };
+
+  /// One register's share of an in-flight batched (or single-key, slot 0
+  /// unused) client operation.
+  struct batch_slot {
+    register_id reg = default_register;
+    value payload;        // write argument
+    tag pending_tag;      // tag chosen for round 2
+    std::int64_t max_sn = 0;
+    tag best_tag;         // freshest (tag, value) seen in a read's round 1
+    value best_val;
+    bool have_first = false;
+    tag first_tag;        // first reply (safe-register reads)
+    value first_val;
+  };
+
   struct client_state {
     phase_kind phase = phase_kind::idle;
     std::uint64_t op_seq = 0;
     bool is_read = false;
+    register_id reg = default_register;  // single-key target
     value payload;        // write argument
     tag pending_tag;      // tag chosen for round 2
     std::int64_t max_sn = 0;
@@ -99,6 +141,13 @@ class quorum_core final : public register_core {
     std::uint32_t depth = 0;  // causal-log depth along this op
     std::uint64_t retrans_token = 0;
     message current;  // message being repeated until enough acks arrive
+    // Batched operation state: slots [0, batch_n) are live; the vector only
+    // grows, so slot buffers (payloads, best/first values) keep their
+    // capacity across operations.
+    bool is_batch = false;
+    std::uint32_t batch_n = 0;
+    std::vector<batch_slot> batch;
+    std::uint32_t prelogs_pending = 0;  // outstanding (writing) stores
 
     /// Reset for the next operation, keeping buffer capacity (payload,
     /// best/first values, `current`'s value) so steady-state operation
@@ -107,6 +156,7 @@ class quorum_core final : public register_core {
       phase = phase_kind::idle;
       op_seq = 0;
       is_read = false;
+      reg = default_register;
       payload.data.clear();
       pending_tag = tag{};
       max_sn = 0;
@@ -118,8 +168,12 @@ class quorum_core final : public register_core {
       responses = 0;
       depth = 0;
       retrans_token = 0;
+      is_batch = false;
+      batch_n = 0;
+      prelogs_pending = 0;
       // `responded` is re-assigned per phase; `current` is fully re-staged
-      // by stage_msg() before any phase reads it.
+      // by stage_msg() before any phase reads it; batch slots are re-staged
+      // by claim_slot() before use.
     }
   };
 
@@ -132,6 +186,21 @@ class quorum_core final : public register_core {
     std::uint32_t round = 0;
     std::uint64_t epoch = 0;
     std::uint32_t depth = 0;
+    register_id reg = default_register;
+    /// Non-zero: this log belongs to a batched update; the ack is owned by
+    /// the batch_ack group with this token and fires when all logs land.
+    std::uint64_t group = 0;
+  };
+
+  /// Deferred acknowledgement of a batched update: sent once `remaining`
+  /// per-register (written) logs are durable.
+  struct batch_ack {
+    process_id to;
+    std::uint64_t op_seq = 0;
+    std::uint32_t round = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t remaining = 0;
   };
 
   struct token_hash {
@@ -139,8 +208,14 @@ class quorum_core final : public register_core {
       return static_cast<std::size_t>(mix_u64(t));
     }
   };
+  struct reg_hash {
+    std::size_t operator()(register_id r) const noexcept {
+      return static_cast<std::size_t>(mix_u64(r));
+    }
+  };
 
   void check_input_allowed(const char* what) const;
+  void check_invocation_allowed(const char* what) const;
   void begin_phase(phase_kind ph, outputs& out);
   void proceed_after_query(outputs& out);
   void begin_update_round(outputs& out);
@@ -148,26 +223,36 @@ class quorum_core final : public register_core {
   [[nodiscard]] bool ack_matches(const message& m) const;
   void handle_ack(const message& m, outputs& out);
   void serve(const message& m, outputs& out);
+  void serve_update(const message& m, outputs& out);
+  void serve_update_batch(const message& m, outputs& out);
   /// Overwrite every header field of cl_.current (the phase's broadcast
-  /// message) in place, reusing its value buffer; callers then set ts/val.
+  /// message) in place, reusing its value buffer; callers then set ts/val
+  /// (and batch entries for batched phases).
   message& stage_msg(msg_kind k, std::uint32_t round, std::uint32_t depth);
   void send_ack(const message& req, std::uint32_t depth, outputs& out);
   [[nodiscard]] std::uint64_t fresh_token() { return next_token_++; }
   void arm_timer(outputs& out);
   void restore_volatile_from_stable();
+  /// Slot i of the in-flight batch, re-staged for register `r`.
+  batch_slot& claim_slot(std::uint32_t i, register_id r);
+  /// Live slot for register `r` of the in-flight batch (nullptr if absent).
+  [[nodiscard]] batch_slot* find_slot(register_id r);
+  void emit_prelog(register_id reg, const tag& ts, const value& val, outputs& out);
 
   const protocol_policy pol_;
   const process_id self_;
   const std::uint32_t n_;
   storage::stable_store& store_;
 
-  // Volatile state (lost on crash).
-  tag vtag_;                // replica tag (paper: [sn, pid])
-  value vval_;              // replica value (paper: v)
+  // Volatile state (lost on crash). Per-register replica state lives in a
+  // flat hash map: steady-state lookups and updates of a warm key set are
+  // allocation-free, preserving the simulator's zero-allocation hot path.
+  flat_hash_map<register_id, replica_slot, reg_hash> replicas_;
   std::int64_t rec_ = 0;    // recovery counter (paper Fig. 5: rec)
   std::int64_t wsn_ = 0;    // local write counter (single-writer variants)
   client_state cl_;
   flat_hash_map<std::uint64_t, pending_log, token_hash> pending_logs_;
+  flat_hash_map<std::uint64_t, batch_ack, token_hash> batch_acks_;
   std::uint64_t op_counter_ = 0;
   std::uint64_t next_token_ = 1;
   std::uint64_t epoch_ = 0;

@@ -5,21 +5,35 @@
 //                   (persistent emulation only; enables finish-on-recovery);
 //   * "written"   — a replica's adopted (tag, value) (both emulations);
 //   * "recovered" — the recovery counter (transient emulation only).
-// Records overwrite in place; recovery reads the latest of each key.
+// In the multi-register namespace the "writing" and "written" areas are keyed
+// per register (recovery replays every register's records); the recovery
+// counter is per-process. Records overwrite in place; recovery reads the
+// latest of each key.
 #pragma once
 
 #include <cstdint>
-#include <string_view>
 
 #include "common/codec.h"
+#include "common/ids.h"
 #include "common/timestamp.h"
 #include "common/value.h"
+#include "storage/stable_store.h"
 
 namespace remus::proto {
 
-inline constexpr std::string_view writing_key = "writing";
-inline constexpr std::string_view written_key = "written";
-inline constexpr std::string_view recovered_key = "recovered";
+[[nodiscard]] constexpr storage::record_key writing_key_of(register_id reg) noexcept {
+  return {storage::record_area::writing, reg};
+}
+[[nodiscard]] constexpr storage::record_key written_key_of(register_id reg) noexcept {
+  return {storage::record_area::written, reg};
+}
+
+/// Default-register keys (the paper's single-register records), kept for the
+/// single-key call sites and tests.
+inline constexpr storage::record_key writing_key = writing_key_of(default_register);
+inline constexpr storage::record_key written_key = written_key_of(default_register);
+inline constexpr storage::record_key recovered_key{storage::record_area::recovered,
+                                                   default_register};
 
 struct tagged_value_record {
   tag ts;

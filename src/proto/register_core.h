@@ -6,6 +6,14 @@
 // processes. Inputs arrive one at a time; each call may append effects to the
 // provided `outputs` batch.
 //
+// The core serves a *namespace* of named registers multiplexed over one
+// cluster: every operation targets a `register_id` (the paper's single
+// register is register 0 / `default_register`), and a batched invocation
+// runs one quorum round for a whole set of registers at once — multi-key
+// traffic amortizes round-trips. The protocol state (tags, values, stable
+// records) is keyed per register; linearizability is compositional, so each
+// register independently satisfies the algorithm's criterion.
+//
 // Lifecycle:
 //   start(out)                      — fresh install (writes initial records)
 //   invoke_write/invoke_read        — requires idle() && ready()
@@ -18,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/timestamp.h"
@@ -27,6 +36,12 @@
 
 namespace remus::proto {
 
+/// One register's share of a batched write invocation.
+struct write_op {
+  register_id reg = default_register;
+  value val;
+};
+
 class register_core {
  public:
   virtual ~register_core() = default;
@@ -35,13 +50,21 @@ class register_core {
   register_core& operator=(const register_core&) = delete;
 
   virtual void start(outputs& out) = 0;
-  virtual void invoke_write(const value& v, outputs& out) = 0;
-  virtual void invoke_read(outputs& out) = 0;
+  virtual void invoke_write(register_id reg, const value& v, outputs& out) = 0;
+  virtual void invoke_read(register_id reg, outputs& out) = 0;
+  /// Batched invocations: one operation over a set of distinct registers,
+  /// executed in the same two quorum rounds a single-key operation uses.
+  virtual void invoke_write_batch(const std::vector<write_op>& ops, outputs& out) = 0;
+  virtual void invoke_read_batch(const std::vector<register_id>& regs, outputs& out) = 0;
   virtual void on_message(const message& m, outputs& out) = 0;
   virtual void on_log_done(std::uint64_t token, outputs& out) = 0;
   virtual void on_timer(std::uint64_t token, outputs& out) = 0;
   virtual void crash() = 0;
   virtual void recover(std::uint64_t new_epoch, outputs& out) = 0;
+
+  /// Single-register conveniences (the paper's register 0).
+  void invoke_write(const value& v, outputs& out) { invoke_write(default_register, v, out); }
+  void invoke_read(outputs& out) { invoke_read(default_register, out); }
 
   /// No client operation in flight.
   [[nodiscard]] virtual bool idle() const = 0;
@@ -51,8 +74,10 @@ class register_core {
   [[nodiscard]] virtual const protocol_policy& policy() const = 0;
 
   /// Replica-state introspection (tests, diagnostics).
-  [[nodiscard]] virtual tag replica_tag() const = 0;
-  [[nodiscard]] virtual value replica_value() const = 0;
+  [[nodiscard]] virtual tag replica_tag(register_id reg) const = 0;
+  [[nodiscard]] virtual value replica_value(register_id reg) const = 0;
+  [[nodiscard]] tag replica_tag() const { return replica_tag(default_register); }
+  [[nodiscard]] value replica_value() const { return replica_value(default_register); }
 
  protected:
   register_core() = default;

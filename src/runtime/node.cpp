@@ -116,36 +116,36 @@ void node::await_completion(std::unique_lock<std::mutex>& lk, std::uint64_t op_s
   }
 }
 
-value node::read() {
+value node::read(register_id reg) {
   std::unique_lock lk(mu_);
   if (!core_->ready() || !core_->idle()) {
     throw precondition_error("node: read() while not ready/idle");
   }
-  recorder_.invoke_read(self_, wall_now());
+  recorder_.invoke_read(self_, reg, wall_now());
   proto::outputs out;
-  core_->invoke_read(out);
+  core_->invoke_read(reg, out);
   const std::uint64_t seq = core_->current_op_seq();
   pump(lk, out);
   await_completion(lk, seq);
   const value result = last_outcome_->result;
   last_outcome_.reset();
-  recorder_.reply_read(self_, result, wall_now());
+  recorder_.reply_read(self_, reg, result, wall_now());
   return result;
 }
 
-void node::write(const value& v) {
+void node::write(register_id reg, const value& v) {
   std::unique_lock lk(mu_);
   if (!core_->ready() || !core_->idle()) {
     throw precondition_error("node: write() while not ready/idle");
   }
-  recorder_.invoke_write(self_, v, wall_now());
+  recorder_.invoke_write(self_, reg, v, wall_now());
   proto::outputs out;
-  core_->invoke_write(v, out);
+  core_->invoke_write(reg, v, out);
   const std::uint64_t seq = core_->current_op_seq();
   pump(lk, out);
   await_completion(lk, seq);
   last_outcome_.reset();
-  recorder_.reply_write(self_, wall_now());
+  recorder_.reply_write(self_, reg, wall_now());
 }
 
 void node::crash() {

@@ -42,9 +42,12 @@ class node {
   void start();
 
   /// Blocking operations; one caller at a time per node (the model's
-  /// processes are sequential).
-  [[nodiscard]] value read();
-  void write(const value& v);
+  /// processes are sequential). The unkeyed forms target the default
+  /// register (the paper's single register).
+  [[nodiscard]] value read() { return read(default_register); }
+  void write(const value& v) { write(default_register, v); }
+  [[nodiscard]] value read(register_id reg);
+  void write(register_id reg, const value& v);
 
   /// Crash: drop off the transport, lose volatile state.
   void crash();

@@ -32,9 +32,11 @@ node& service::at(process_id p) {
   return *nodes_[p.index];
 }
 
-value service::read(process_id p) { return at(p).read(); }
+value service::read(process_id p, register_id reg) { return at(p).read(reg); }
 
-void service::write(process_id p, const value& v) { at(p).write(v); }
+void service::write(process_id p, register_id reg, const value& v) {
+  at(p).write(reg, v);
+}
 
 void service::crash(process_id p) { at(p).crash(); }
 

@@ -36,8 +36,10 @@ class service {
   service(const service&) = delete;
   service& operator=(const service&) = delete;
 
-  [[nodiscard]] value read(process_id p);
-  void write(process_id p, const value& v);
+  [[nodiscard]] value read(process_id p) { return read(p, default_register); }
+  void write(process_id p, const value& v) { write(p, default_register, v); }
+  [[nodiscard]] value read(process_id p, register_id reg);
+  void write(process_id p, register_id reg, const value& v);
   void crash(process_id p);
   void recover(process_id p);
 

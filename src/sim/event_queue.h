@@ -76,7 +76,7 @@ class event_queue {
   /// The record is copied into the slot's retained buffer (the caller's
   /// buffer is a recycled effect slot — both sides keep their capacity).
   token schedule_log_done(time_ns at, process_id target, std::uint64_t tok,
-                          std::uint64_t incarnation, std::string_view key,
+                          std::uint64_t incarnation, storage::record_key key,
                           const bytes& record) {
     const auto [idx, s] = acquire_slot(at);
     s->ev.kind = event_kind::log_done;

@@ -1,0 +1,70 @@
+// YCSB-style keyed workload generation for the multi-register namespace.
+//
+// Produces a deterministic operation stream over `key_count` registers:
+// uniform or Zipf-skewed key popularity (the YCSB "zipfian" generator with
+// parameter theta; theta 0.99 is YCSB's default hot-key skew), a read/write
+// mix, optional multi-key batches (distinct keys per batch), and write
+// values that are globally unique — the atomicity checkers require unique
+// write values per register, and globally unique satisfies every projection.
+//
+// This header only *generates* the schedule; drivers (benches, tests) submit
+// it to a core::cluster themselves, keeping sim/ independent of core/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/value.h"
+
+namespace remus::sim {
+
+/// Zipf(theta) sampler over {0, .., n-1} (rank 0 most popular), using the
+/// standard YCSB/Gray et al. construction. theta == 0 degenerates to
+/// uniform. Precomputes the harmonic normalizer once (O(n) setup).
+class zipf_sampler {
+ public:
+  zipf_sampler(std::uint64_t n, double theta);
+
+  [[nodiscard]] std::uint64_t sample(rng& r) const;
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_ = 1;
+  double theta_ = 0.0;
+  double zetan_ = 1.0;   // sum_{i=1..n} 1/i^theta
+  double alpha_ = 0.0;   // 1 / (1 - theta)
+  double eta_ = 0.0;
+};
+
+struct kv_workload_config {
+  std::uint32_t n = 3;              // cluster size (ops round-robin processes)
+  std::uint32_t key_count = 64;     // registers 0 .. key_count-1
+  double zipf_theta = 0.0;          // 0 = uniform; 0.99 = YCSB default skew
+  double read_fraction = 0.5;       // P(op is a read)
+  std::uint32_t batch_size = 1;     // keys per operation (>1 = batched ops)
+  std::uint32_t ops = 1000;         // total operations generated
+  time_ns mean_gap = 200 * 1000;    // mean inter-arrival per process
+  std::uint64_t seed = 1;
+};
+
+/// One generated operation: `entries` lists the distinct target registers
+/// (writes carry their unique values; reads leave values empty).
+struct kv_op {
+  process_id p;
+  time_ns at = 0;
+  bool is_read = false;
+
+  struct entry {
+    register_id reg = default_register;
+    value val;  // writes only
+  };
+  std::vector<entry> entries;
+};
+
+/// Generates the full deterministic schedule for `cfg`.
+[[nodiscard]] std::vector<kv_op> make_kv_workload(const kv_workload_config& cfg);
+
+}  // namespace remus::sim

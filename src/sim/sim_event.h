@@ -24,6 +24,7 @@
 #include "common/ids.h"
 #include "common/value.h"
 #include "proto/shared_message.h"
+#include "storage/stable_store.h"
 
 namespace remus::sim {
 
@@ -48,7 +49,7 @@ struct sim_event {
   std::uint64_t a = no_event_arg;            // token or op handle (see kinds)
   std::uint64_t incarnation = no_event_arg;  // guard; no_event_arg = unguarded
   proto::shared_message msg{};               // message
-  std::string_view log_key{};                // log_done (static-lifetime key)
+  storage::record_key log_key{};             // log_done (trivially copyable)
   bytes log_record{};                        // log_done
   std::function<void()> fn{};                // thunk
 };

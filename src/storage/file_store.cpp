@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "common/error.h"
 
@@ -42,23 +45,30 @@ void sync_dir(const std::filesystem::path& dir) {
   ::close(fd);
 }
 
-/// Keys are protocol-chosen identifiers ("writing", "written", ...); escape
-/// anything that is not filename-safe.
-std::string sanitize(std::string_view key) {
-  std::string out;
-  out.reserve(key.size());
-  for (const char c : key) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
-    if (ok) {
-      out += c;
-    } else {
-      out += '%';
-      out += "0123456789abcdef"[(c >> 4) & 0xf];
-      out += "0123456789abcdef"[c & 0xf];
+/// Filename of a record: "<area>-<reg>", with the default register keeping
+/// the bare pre-namespace names ("writing", "written", "recovered") so
+/// single-register layouts stay compatible.
+std::string file_name(record_key key) {
+  if (key.reg == default_register) return to_string(key.area);
+  return to_string(key.area) + "-" + std::to_string(key.reg);
+}
+
+/// Inverse of file_name(); nullopt for foreign files (temps, strays).
+std::optional<record_key> parse_file_name(const std::string& name) {
+  for (const record_area a :
+       {record_area::writing, record_area::written, record_area::recovered}) {
+    const std::string prefix = to_string(a);
+    if (name == prefix) return record_key{a, default_register};
+    if (name.size() > prefix.size() + 1 && name.compare(0, prefix.size(), prefix) == 0 &&
+        name[prefix.size()] == '-') {
+      register_id reg = 0;
+      const char* first = name.data() + prefix.size() + 1;
+      const char* last = name.data() + name.size();
+      const auto [ptr, ec] = std::from_chars(first, last, reg);
+      if (ec == std::errc{} && ptr == last) return record_key{a, reg};
     }
   }
-  return out.empty() ? std::string("%empty") : out;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -68,11 +78,11 @@ file_store::file_store(std::filesystem::path dir, bool fsync_enabled)
   std::filesystem::create_directories(dir_);
 }
 
-std::filesystem::path file_store::path_of(std::string_view key) const {
-  return dir_ / sanitize(key);
+std::filesystem::path file_store::path_of(record_key key) const {
+  return dir_ / file_name(key);
 }
 
-void file_store::store(std::string_view key, const bytes& record) {
+void file_store::store(record_key key, const bytes& record) {
   const auto target = path_of(key);
   auto tmp = target;
   tmp += ".tmp";
@@ -84,12 +94,28 @@ void file_store::store(std::string_view key, const bytes& record) {
   ++stores_;
 }
 
-std::optional<bytes> file_store::retrieve(std::string_view key) const {
+std::optional<bytes> file_store::retrieve(record_key key) const {
   const auto target = path_of(key);
   std::ifstream in(target, std::ios::binary);
   if (!in) return std::nullopt;
   bytes out((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   return out;
+}
+
+void file_store::for_each(record_area area,
+                          const std::function<void(register_id, const bytes&)>& fn) const {
+  // Directory iteration order is filesystem-dependent; sort by register so
+  // recovery replay order is deterministic across machines.
+  std::vector<register_id> regs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto key = parse_file_name(entry.path().filename().string());
+    if (key && key->area == area) regs.push_back(key->reg);
+  }
+  std::sort(regs.begin(), regs.end());
+  for (const register_id reg : regs) {
+    if (const auto rec = retrieve(record_key{area, reg})) fn(reg, *rec);
+  }
 }
 
 void file_store::wipe() {

@@ -2,8 +2,9 @@
 //
 // Mirrors the paper's implementation (section V-A): "storage abstractions are
 // implemented using files written to disk synchronously so that the operating
-// system writes the data to disk immediately instead of buffering". Each key
-// maps to one file in the store's directory; a store() writes a temp file,
+// system writes the data to disk immediately instead of buffering". Each
+// record key maps to one file ("writing-<reg>", "written-<reg>",
+// "recovered") in the store's directory; a store() writes a temp file,
 // fsyncs it, and renames it over the old record (atomic on POSIX), then
 // fsyncs the directory.
 #pragma once
@@ -21,15 +22,17 @@ class file_store final : public stable_store {
   /// Creates `dir` (and parents) if missing.
   explicit file_store(std::filesystem::path dir, bool fsync_enabled = true);
 
-  void store(std::string_view key, const bytes& record) override;
-  [[nodiscard]] std::optional<bytes> retrieve(std::string_view key) const override;
+  void store(record_key key, const bytes& record) override;
+  [[nodiscard]] std::optional<bytes> retrieve(record_key key) const override;
+  void for_each(record_area area,
+                const std::function<void(register_id, const bytes&)>& fn) const override;
   void wipe() override;
   [[nodiscard]] std::uint64_t store_count() const override { return stores_; }
 
   [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
 
  private:
-  [[nodiscard]] std::filesystem::path path_of(std::string_view key) const;
+  [[nodiscard]] std::filesystem::path path_of(record_key key) const;
 
   std::filesystem::path dir_;
   bool fsync_enabled_;

@@ -2,29 +2,40 @@
 
 namespace remus::storage {
 
-void memory_store::store(std::string_view key, const bytes& record) {
+void memory_store::store(record_key key, const bytes& record) {
   ++stores_;
-  for (auto& [k, v] : records_) {
-    if (k == key) {
-      v = record;  // copy-assign reuses the stored buffer
-      return;
-    }
+  // operator[] inserts 0 for a fresh key; slot 0 is disambiguated by an
+  // explicit key compare (cheaper than a sentinel scheme on this path).
+  std::uint32_t& slot = index_[key];
+  if (slot < records_.size() && records_[slot].first == key) {
+    records_[slot].second = record;  // copy-assign reuses the stored buffer
+    return;
   }
-  records_.emplace_back(std::string(key), record);
+  slot = static_cast<std::uint32_t>(records_.size());
+  records_.emplace_back(key, record);
 }
 
-std::optional<bytes> memory_store::retrieve(std::string_view key) const {
+std::optional<bytes> memory_store::retrieve(record_key key) const {
+  const std::uint32_t* slot = index_.find(key);
+  if (slot == nullptr) return std::nullopt;
+  return records_[*slot].second;
+}
+
+void memory_store::for_each(record_area area,
+                            const std::function<void(register_id, const bytes&)>& fn) const {
   for (const auto& [k, v] : records_) {
-    if (k == key) return v;
+    if (k.area == area) fn(k.reg, v);
   }
-  return std::nullopt;
 }
 
-void memory_store::wipe() { records_.clear(); }
+void memory_store::wipe() {
+  records_.clear();
+  index_.clear();
+}
 
 std::size_t memory_store::footprint() const {
   std::size_t total = 0;
-  for (const auto& [k, v] : records_) total += k.size() + v.size();
+  for (const auto& [k, v] : records_) total += sizeof(k) + v.size();
   return total;
 }
 

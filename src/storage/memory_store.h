@@ -3,18 +3,20 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "storage/stable_store.h"
 
 namespace remus::storage {
 
 class memory_store final : public stable_store {
  public:
-  void store(std::string_view key, const bytes& record) override;
-  [[nodiscard]] std::optional<bytes> retrieve(std::string_view key) const override;
+  void store(record_key key, const bytes& record) override;
+  [[nodiscard]] std::optional<bytes> retrieve(record_key key) const override;
+  void for_each(record_area area,
+                const std::function<void(register_id, const bytes&)>& fn) const override;
   void wipe() override;
   [[nodiscard]] std::uint64_t store_count() const override { return stores_; }
 
@@ -22,10 +24,20 @@ class memory_store final : public stable_store {
   [[nodiscard]] std::size_t footprint() const;
 
  private:
-  // The algorithms use three fixed record keys ("writing", "written",
-  // "recovered"); a linear scan beats a tree and stays allocation-free on
-  // the per-log store path (the value buffer is reused in place).
-  std::vector<std::pair<std::string, bytes>> records_;
+  struct key_hash {
+    std::size_t operator()(record_key k) const noexcept {
+      return static_cast<std::size_t>(
+          mix_u64((static_cast<std::uint64_t>(k.area) << 32) | k.reg));
+    }
+  };
+
+  // Insertion-ordered record vector (for_each enumerates in first-store
+  // order — deterministic across identically-driven runs) with a flat-hash
+  // index keyed by record_key, so the per-log store path stays O(1) even
+  // with thousands of registers — and allocation-free in steady state (the
+  // value buffer is reused in place).
+  std::vector<std::pair<record_key, bytes>> records_;
+  flat_hash_map<record_key, std::uint32_t, key_hash> index_;
   std::uint64_t stores_ = 0;
 };
 

@@ -1,0 +1,20 @@
+#include "storage/stable_store.h"
+
+namespace remus::storage {
+
+std::string to_string(record_area a) {
+  switch (a) {
+    case record_area::writing: return "writing";
+    case record_area::written: return "written";
+    case record_area::recovered: return "recovered";
+  }
+  return "?";
+}
+
+std::string to_string(const record_key& k) {
+  std::string out = to_string(k.area);
+  if (k.reg != default_register) out += "-" + std::to_string(k.reg);
+  return out;
+}
+
+}  // namespace remus::storage

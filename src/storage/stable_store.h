@@ -1,36 +1,81 @@
 // Stable storage: the paper's `store`/`retrieve` primitives (section II).
 //
 // A stable store survives crashes of its owning process; volatile state does
-// not. Records are keyed byte strings ("writing", "written", "recovered" in
-// Figures 4/5); storing a key overwrites the previous record, exactly like
-// rewriting a fixed file synchronously.
+// not. Records are keyed by (area, register): the paper's Figures 4/5 log
+// three record areas for one register ("writing", "written", "recovered");
+// the multi-register namespace keys the per-register areas by `register_id`
+// so recovery can replay every register served by the process. Storing a key
+// overwrites the previous record, exactly like rewriting a fixed file
+// synchronously.
 //
 // Durability timing is owned by the *driver*: in the simulation the disk
 // model decides when an issued store becomes durable (and a crash discards
 // in-flight stores — the conservative model); in the threaded runtime the
 // file store is synchronous (fsync before return). Protocol cores therefore
 // never call `store` directly — they emit log effects — but they do call
-// `retrieve` during recovery.
+// `retrieve` and `for_each` during recovery.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
-#include <string_view>
 
+#include "common/ids.h"
 #include "common/value.h"
 
 namespace remus::storage {
+
+/// Which of the protocol's record families a record belongs to.
+enum class record_area : std::uint8_t {
+  writing = 1,    // writer pre-log (persistent emulation)
+  written = 2,    // replica's adopted (tag, value)
+  recovered = 3,  // recovery counter (transient emulation; register-agnostic)
+};
+
+[[nodiscard]] std::string to_string(record_area a);
+
+/// A stable-storage record name: one area of one register. Trivially
+/// copyable so drivers can carry it through event payloads without owning a
+/// string (the pre-namespace code used static string keys for the same
+/// reason). The recovery counter is per-process, not per-register; it uses
+/// reg == default_register by convention.
+struct record_key {
+  record_area area = record_area::written;
+  register_id reg = default_register;
+
+  friend constexpr bool operator==(const record_key&, const record_key&) = default;
+
+  /// Bytes the key occupies on the storage medium (its rendered name, e.g.
+  /// "written-42"); drivers charge this against disk bandwidth. Constexpr so
+  /// the hot path never materializes the string.
+  [[nodiscard]] constexpr std::size_t encoded_size() const noexcept {
+    const std::size_t base = area == record_area::recovered ? 9 : 7;
+    if (reg == default_register) return base;
+    std::size_t digits = 1;
+    for (register_id r = reg; r >= 10; r /= 10) ++digits;
+    return base + 1 + digits;  // "<area>-<reg>"
+  }
+};
+
+[[nodiscard]] std::string to_string(const record_key& k);
 
 class stable_store {
  public:
   virtual ~stable_store() = default;
 
   /// Durably store `record` under `key`, replacing any previous record.
-  virtual void store(std::string_view key, const bytes& record) = 0;
+  virtual void store(record_key key, const bytes& record) = 0;
 
   /// Fetch the last record stored under `key`, if any.
-  [[nodiscard]] virtual std::optional<bytes> retrieve(std::string_view key) const = 0;
+  [[nodiscard]] virtual std::optional<bytes> retrieve(record_key key) const = 0;
+
+  /// Enumerate every record of `area`, in a deterministic order (recovery
+  /// replays all registers from here; determinism keeps simulated runs a
+  /// pure function of the configuration).
+  virtual void for_each(record_area area,
+                        const std::function<void(register_id, const bytes&)>& fn) const = 0;
 
   /// Remove every record (fresh process install, not crash recovery).
   virtual void wipe() = 0;

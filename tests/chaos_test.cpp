@@ -6,9 +6,11 @@
 #include "common/codec.h"
 #include "core/cluster.h"
 #include "history/atomicity.h"
+#include "history/keyed.h"
 #include "history/tag_order.h"
 #include "proto/message.h"
 #include "proto/policy.h"
+#include "sim/kv_workload.h"
 
 namespace remus::core {
 namespace {
@@ -130,6 +132,151 @@ TEST(Reordering, DuplicateStormIsHarmless) {
   EXPECT_EQ(c.read(process_id{1}), value_of_u32(5));
   const auto verdict = history::check_persistent_atomicity(c.events());
   EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+// ---------- Re-entrant recovery (crash during recovery log replay) ----------
+
+TEST(ReentrantRecovery, CrashDuringRecoveryReplayStaysAtomicPerKey) {
+  // A node populated with many registers crashes, starts recovering (the
+  // recovery reads + replays every register's stable records), and crashes
+  // *again* mid-recovery — repeatedly, at sliding offsets so the second
+  // crash lands before, during, and after the stable-store read and the
+  // persistent finish-write round. Per-key atomicity must survive every
+  // interleaving, and the node must end up consistent once it finally stays
+  // up.
+  for (const auto& pol : {proto::persistent_policy(), proto::transient_policy()}) {
+    for (int offset_us = 50; offset_us <= 850; offset_us += 200) {
+      cluster_config cfg;
+      cfg.n = 3;
+      cfg.policy = pol;
+      cfg.policy.retransmit_delay = 3_ms;
+      cfg.seed = 100 + static_cast<std::uint64_t>(offset_us);
+      cluster c(cfg);
+      for (std::uint32_t k = 0; k < 10; ++k) {
+        c.write(process_id{0}, k, value_of_u32(100 + k));
+      }
+      const time_ns t0 = c.now();
+      c.submit_crash(process_id{2}, t0);
+      c.submit_recover(process_id{2}, t0 + 100_us);
+      // Second crash lands inside the previous recovery procedure
+      // (recovery_read_latency is 400 us; the finish-write round follows).
+      c.submit_crash(process_id{2}, t0 + 100_us + static_cast<time_ns>(offset_us) * 1_us);
+      c.submit_recover(process_id{2}, t0 + 5_ms);
+      // Keep traffic flowing from the healthy majority while p2 thrashes.
+      c.submit_write(process_id{0}, 3, value_of_u32(9000 + static_cast<std::uint32_t>(offset_us)),
+                     t0 + 200_us);
+      c.submit_read(process_id{1}, 7, t0 + 300_us);
+      ASSERT_TRUE(c.run_until_idle());
+
+      const auto verdict = cfg.policy.recovery_counter
+                               ? history::check_transient_atomicity_per_key(c.events())
+                               : history::check_persistent_atomicity_per_key(c.events());
+      EXPECT_TRUE(verdict.ok) << pol.name << " offset " << offset_us << "us\n"
+                              << verdict.explanation;
+      // The twice-recovered node serves consistent values afterwards.
+      for (std::uint32_t k = 0; k < 10; ++k) {
+        EXPECT_EQ(c.read(process_id{2}, k), c.read(process_id{0}, k)) << "reg " << k;
+      }
+    }
+  }
+}
+
+// ---------- Crashes during batched multi-key writes ----------
+
+TEST(BatchChaos, CrashesDuringBatchedWritesStayAtomicPerKey) {
+  // Batched writes in flight while the writer and replicas crash at sliding
+  // offsets: the batch's per-register logs and the deferred batched ack
+  // must never let a partially-durable batch violate any key's atomicity.
+  for (int crash_writer = 0; crash_writer <= 1; ++crash_writer) {
+    for (int offset_us = 100; offset_us <= 1300; offset_us += 300) {
+      cluster_config cfg;
+      cfg.n = 5;
+      cfg.policy = proto::persistent_policy();
+      cfg.policy.retransmit_delay = 3_ms;
+      cfg.seed = 7000 + static_cast<std::uint64_t>(offset_us + crash_writer);
+      cluster c(cfg);
+      std::uint32_t v = 1;
+      // Ground state on a few registers.
+      for (std::uint32_t k = 0; k < 6; ++k) c.write(process_id{1}, k, value_of_u32(v++));
+
+      const time_ns t0 = c.now();
+      std::vector<proto::write_op> ops;
+      for (std::uint32_t k = 0; k < 6; ++k) ops.push_back({k, value_of_u32(100 + v++ )});
+      c.submit_write_batch(process_id{0}, ops, t0);
+      // Competing batched read of the same keys.
+      c.submit_read_batch(process_id{3}, {0, 1, 2, 3, 4, 5}, t0 + 50_us);
+
+      const process_id victim = crash_writer ? process_id{0} : process_id{4};
+      c.submit_crash(victim, t0 + static_cast<time_ns>(offset_us) * 1_us);
+      c.submit_recover(victim, t0 + 10_ms);
+      ASSERT_TRUE(c.run_until_idle());
+
+      const auto verdict = history::check_persistent_atomicity_per_key(c.events());
+      EXPECT_TRUE(verdict.ok)
+          << (crash_writer ? "writer" : "replica") << " crash at " << offset_us << "us\n"
+          << verdict.explanation;
+      const auto order = history::check_tag_order_per_key(c.tagged_operations());
+      EXPECT_TRUE(order.ok) << order.explanation;
+      // Every register converges: all nodes agree after the dust settles.
+      for (std::uint32_t k = 0; k < 6; ++k) {
+        const value expect = c.read(process_id{2}, k);
+        EXPECT_EQ(c.read(process_id{0}, k), expect) << "reg " << k;
+        EXPECT_EQ(c.read(process_id{4}, k), expect) << "reg " << k;
+      }
+    }
+  }
+}
+
+TEST(BatchChaos, KeyedSoakWithBatchesLossAndFaults) {
+  // A longer randomized keyed soak: batched + single-key traffic over 16
+  // registers, 10% message loss, rolling crash/recovery — the blackbox
+  // "everything at once" case for the namespace.
+  cluster_config cfg;
+  cfg.n = 5;
+  cfg.policy = proto::transient_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cfg.net.drop_probability = 0.1;
+  cfg.seed = 4242;
+  cluster c(cfg);
+
+  sim::kv_workload_config wc;
+  wc.n = 5;
+  wc.key_count = 16;
+  wc.zipf_theta = 0.9;
+  wc.read_fraction = 0.4;
+  wc.batch_size = 3;
+  wc.ops = 120;
+  wc.mean_gap = 2'000'000;  // ~2 ms between ops per process
+  wc.seed = 99;
+  std::vector<proto::write_op> batch_ops;
+  std::vector<register_id> batch_regs;
+  for (const auto& op : sim::make_kv_workload(wc)) {
+    if (op.is_read) {
+      batch_regs.clear();
+      for (const auto& e : op.entries) batch_regs.push_back(e.reg);
+      c.submit_read_batch(op.p, batch_regs, op.at);
+    } else {
+      batch_ops.clear();
+      for (const auto& e : op.entries) batch_ops.push_back({e.reg, e.val});
+      c.submit_write_batch(op.p, batch_ops, op.at);
+    }
+  }
+
+  sim::random_plan_config fp;
+  fp.n = 5;
+  fp.crashes = 12;
+  fp.horizon = 300_ms;
+  fp.min_down = 5_ms;
+  fp.max_down = 50_ms;
+  rng fr(17);
+  c.apply(sim::make_random_plan(fp, fr));
+
+  ASSERT_TRUE(c.run_until_idle(80'000'000));
+  const auto verdict = history::check_transient_atomicity_per_key(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  EXPECT_GE(verdict.keys_checked, 10u);  // the workload really spread out
+  const auto order = history::check_tag_order_per_key(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
 }
 
 // ---------- Long soak ----------

@@ -201,14 +201,16 @@ TEST(EventQueueTyped, ExecutorReceivesTypedEvents) {
   q.schedule_plain(30, event_kind::timer, process_id{2}, 77, 5);
   q.schedule_plain(10, event_kind::op_dispatch, process_id{1}, 4);
   bytes record{1, 2, 3};
-  q.schedule_log_done(20, process_id{0}, 9, 1, "written", record);
+  q.schedule_log_done(20, process_id{0}, 9, 1,
+                      storage::record_key{storage::record_area::written, 7}, record);
   EXPECT_EQ(q.run(), 3u);
   ASSERT_EQ(exec.seen.size(), 3u);
   EXPECT_EQ(exec.seen[0].kind, event_kind::op_dispatch);
   EXPECT_EQ(exec.seen[0].target, process_id{1});
   EXPECT_EQ(exec.seen[0].a, 4u);
   EXPECT_EQ(exec.seen[1].kind, event_kind::log_done);
-  EXPECT_EQ(exec.seen[1].log_key, "written");
+  EXPECT_EQ(exec.seen[1].log_key,
+            (storage::record_key{storage::record_area::written, 7}));
   EXPECT_EQ(exec.seen[1].log_record, (bytes{1, 2, 3}));
   EXPECT_EQ(exec.seen[2].kind, event_kind::timer);
   EXPECT_EQ(exec.seen[2].a, 77u);

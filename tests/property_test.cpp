@@ -14,8 +14,10 @@
 #include "core/cluster.h"
 #include "history/atomicity.h"
 #include "history/brute_force.h"
+#include "history/keyed.h"
 #include "history/wellformed.h"
 #include "proto/policy.h"
+#include "sim/kv_workload.h"
 
 namespace remus::core {
 namespace {
@@ -263,6 +265,224 @@ TEST(CheckerCrossValidation, FastCheckerAgreesWithBruteForce) {
   EXPECT_GT(accepted, 50);
   EXPECT_GT(rejected, 50);
 }
+
+// Keyed variant of the generator: every operation targets a random register
+// of a small set, and reads return a random value *written on that
+// register* (usually — sometimes any written value, so cross-register
+// confusion and plain non-atomicity both appear).
+history::history_log random_keyed_history(rng& r, std::uint32_t procs,
+                                          std::uint32_t keys, int steps) {
+  using history::event;
+  using history::event_kind;
+  history::history_log h;
+  struct pstate {
+    bool up = true;
+    bool busy = false;
+    bool busy_read = false;
+    register_id reg = default_register;
+  };
+  std::vector<pstate> st(procs);
+  std::uint32_t next_write = 1;
+  struct written_value {
+    register_id reg;
+    std::uint32_t v;
+  };
+  std::vector<written_value> written;
+  time_ns t = 0;
+
+  for (int i = 0; i < steps; ++i) {
+    const std::uint32_t p = static_cast<std::uint32_t>(r.next_below(procs));
+    auto& s = st[p];
+    t += 1000;
+    const auto roll = r.next_below(10);
+    if (!s.up) {
+      if (roll < 6) {
+        h.push_back(event{event_kind::recover, process_id{p}, {}, t});
+        s.up = true;
+        s.busy = false;
+      }
+      continue;
+    }
+    if (s.busy) {
+      if (roll < 2) {
+        h.push_back(event{event_kind::crash, process_id{p}, {}, t});
+        s.up = false;
+      } else if (s.busy_read) {
+        value v = initial_value();
+        if (!written.empty() && r.chance(0.85)) {
+          // Mostly same-register values; occasionally any register's value
+          // (a guaranteed violation the per-key checker must catch).
+          std::vector<std::uint32_t> candidates;
+          if (r.chance(0.9)) {
+            for (const auto& w : written) {
+              if (w.reg == s.reg) candidates.push_back(w.v);
+            }
+          }
+          if (candidates.empty()) {
+            candidates.push_back(written[r.next_below(written.size())].v);
+          }
+          v = value_of_u32(candidates[r.next_below(candidates.size())]);
+        }
+        h.push_back(event{event_kind::reply_read, process_id{p}, v, t, s.reg});
+        s.busy = false;
+      } else {
+        h.push_back(event{event_kind::reply_write, process_id{p}, {}, t, s.reg});
+        s.busy = false;
+      }
+      continue;
+    }
+    const auto reg = static_cast<register_id>(r.next_below(keys));
+    if (roll < 2) {
+      h.push_back(event{event_kind::crash, process_id{p}, {}, t});
+      s.up = false;
+    } else if (roll < 6) {
+      const std::uint32_t v = next_write++;
+      written.push_back({reg, v});
+      h.push_back(event{event_kind::invoke_write, process_id{p}, value_of_u32(v), t, reg});
+      s.busy = true;
+      s.busy_read = false;
+      s.reg = reg;
+    } else {
+      h.push_back(event{event_kind::invoke_read, process_id{p}, {}, t, reg});
+      s.busy = true;
+      s.busy_read = true;
+      s.reg = reg;
+    }
+  }
+  return h;
+}
+
+TEST(KeyedCheckerCrossValidation, PerKeyCheckerAgreesWithPerKeyBruteForce) {
+  rng r(31337);
+  int accepted = 0;
+  int rejected = 0;
+  int multi_key = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto h = random_keyed_history(
+        r, 1 + static_cast<std::uint32_t>(r.next_below(3)),
+        1 + static_cast<std::uint32_t>(r.next_below(3)),
+        10 + static_cast<int>(r.next_below(10)));
+    if (!history::check_well_formed(h).ok) continue;
+    if (history::keys_of(h).size() > 1) ++multi_key;
+    for (const auto c : {history::criterion::persistent, history::criterion::transient}) {
+      const auto fast = history::check_atomicity_per_key(h, c);
+      const auto slow = history::check_atomicity_per_key_brute_force(h, c);
+      if (fast.usage_error || slow.usage_error) continue;
+      EXPECT_EQ(fast.ok, slow.ok)
+          << "criterion=" << (c == history::criterion::persistent ? "persistent" : "transient")
+          << "\nfast: " << fast.explanation << "\nslow: " << slow.explanation << "\n"
+          << history::to_string(h);
+      if (!fast.ok && !slow.ok) {
+        // Both reject: they must blame the same register (the first failing
+        // one in ascending order, since both scan keys identically).
+        EXPECT_EQ(fast.failing_key, slow.failing_key) << history::to_string(h);
+      }
+      (fast.ok ? accepted : rejected) += 1;
+    }
+  }
+  // The generator must exercise both outcomes and real multi-key histories.
+  EXPECT_GT(accepted, 50);
+  EXPECT_GT(rejected, 50);
+  EXPECT_GT(multi_key, 100);
+}
+
+TEST(KeyedCheckerCrossValidation, ProjectionEqualsWholeOnSingleKeyHistories) {
+  // On histories that only ever touch one register, the per-key composite
+  // verdict must coincide with the plain checker's.
+  rng r(555);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto h = random_keyed_history(
+        r, 1 + static_cast<std::uint32_t>(r.next_below(3)), 1,
+        8 + static_cast<int>(r.next_below(8)));
+    if (!history::check_well_formed(h).ok) continue;
+    for (const auto c : {history::criterion::persistent, history::criterion::transient}) {
+      const auto whole = history::check_atomicity(h, c);
+      const auto keyed = history::check_atomicity_per_key(h, c);
+      if (whole.usage_error) continue;
+      EXPECT_EQ(whole.ok, keyed.ok) << history::to_string(h);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+// End-to-end keyed property runs: random keyed workloads (with batches)
+// under faults and loss; every register's projection must satisfy the
+// policy's criterion.
+class KeyedRandomRuns : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyedRandomRuns, KeyedWorkloadUnderFaultsStaysAtomicPerKey) {
+  const std::uint64_t seed = GetParam();
+  rng r(seed * 31 + 7);
+
+  cluster_config cfg;
+  cfg.n = 3 + 2 * static_cast<std::uint32_t>(r.next_below(2));  // 3 or 5
+  cfg.policy = r.chance(0.5) ? proto::persistent_policy() : proto::transient_policy();
+  cfg.policy.retransmit_delay = 5_ms;
+  cfg.net.drop_probability = r.chance(0.5) ? 0.1 : 0.0;
+  cfg.seed = seed;
+  cluster c(cfg);
+
+  sim::kv_workload_config wc;
+  wc.n = cfg.n;
+  wc.key_count = 1 + static_cast<std::uint32_t>(r.next_below(8));
+  wc.zipf_theta = r.chance(0.5) ? 0.9 : 0.0;
+  wc.read_fraction = 0.5;
+  wc.batch_size = 1 + static_cast<std::uint32_t>(r.next_below(std::min(wc.key_count, 3u)));
+  wc.ops = 40;
+  wc.mean_gap = 1'500'000;
+  wc.seed = seed;
+  std::vector<proto::write_op> batch_ops;
+  std::vector<register_id> batch_regs;
+  for (const auto& op : sim::make_kv_workload(wc)) {
+    if (op.entries.size() == 1) {
+      if (op.is_read) {
+        c.submit_read(op.p, op.entries[0].reg, op.at);
+      } else {
+        c.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at);
+      }
+    } else if (op.is_read) {
+      batch_regs.clear();
+      for (const auto& e : op.entries) batch_regs.push_back(e.reg);
+      c.submit_read_batch(op.p, batch_regs, op.at);
+    } else {
+      batch_ops.clear();
+      for (const auto& e : op.entries) batch_ops.push_back({e.reg, e.val});
+      c.submit_write_batch(op.p, batch_ops, op.at);
+    }
+  }
+
+  sim::random_plan_config fp;
+  fp.n = cfg.n;
+  fp.crashes = 5;
+  fp.horizon = 120_ms;
+  fp.min_down = 1_ms;
+  fp.max_down = 25_ms;
+  fp.allow_majority_crash = true;
+  const auto plan = sim::make_random_plan(fp, r);
+  ASSERT_TRUE(plan.well_formed(cfg.n));
+  c.apply(plan);
+
+  ASSERT_TRUE(c.run_until_idle(20'000'000)) << "run did not quiesce";
+  // Well-formedness is a per-register property here: a batched operation is
+  // one overlapping operation per register at its process, so only the
+  // projections alternate invoke/reply.
+  const auto h = c.events();
+  for (const register_id reg : history::keys_of(h)) {
+    const auto wf = history::check_well_formed(history::project_key(h, reg));
+    ASSERT_TRUE(wf.ok) << "register " << reg << ": " << wf.explanation;
+  }
+  const auto verdict = cfg.policy.recovery_counter
+                           ? history::check_transient_atomicity_per_key(c.events())
+                           : history::check_persistent_atomicity_per_key(c.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n"
+                          << history::to_string(c.events());
+  const auto order = history::check_tag_order_per_key(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyedRandomRuns, ::testing::Range<std::uint64_t>(1, 13));
 
 TEST(CheckerCrossValidation, PersistentImpliesTransient) {
   rng r(777);

@@ -1,7 +1,9 @@
-// Unit tests for stable storage backends.
+// Unit tests for stable storage backends (keyed by (area, register)).
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <utility>
+#include <vector>
 
 #include "common/value.h"
 #include "storage/file_store.h"
@@ -12,20 +14,56 @@ namespace {
 
 bytes b(std::initializer_list<std::uint8_t> xs) { return bytes(xs); }
 
+constexpr record_key written0{record_area::written, 0};
+constexpr record_key written7{record_area::written, 7};
+constexpr record_key writing0{record_area::writing, 0};
+constexpr record_key recovered{record_area::recovered, 0};
+
 template <typename Store>
 void exercise_basic(Store& st) {
-  EXPECT_FALSE(st.retrieve("written").has_value());
-  st.store("written", b({1, 2, 3}));
-  ASSERT_TRUE(st.retrieve("written").has_value());
-  EXPECT_EQ(*st.retrieve("written"), b({1, 2, 3}));
+  EXPECT_FALSE(st.retrieve(written0).has_value());
+  st.store(written0, b({1, 2, 3}));
+  ASSERT_TRUE(st.retrieve(written0).has_value());
+  EXPECT_EQ(*st.retrieve(written0), b({1, 2, 3}));
   // Overwrite in place (records replace their predecessor).
-  st.store("written", b({9}));
-  EXPECT_EQ(*st.retrieve("written"), b({9}));
-  // Independent keys.
-  st.store("writing", b({4, 5}));
-  EXPECT_EQ(*st.retrieve("writing"), b({4, 5}));
-  EXPECT_EQ(*st.retrieve("written"), b({9}));
-  EXPECT_EQ(st.store_count(), 3u);
+  st.store(written0, b({9}));
+  EXPECT_EQ(*st.retrieve(written0), b({9}));
+  // Independent areas.
+  st.store(writing0, b({4, 5}));
+  EXPECT_EQ(*st.retrieve(writing0), b({4, 5}));
+  EXPECT_EQ(*st.retrieve(written0), b({9}));
+  // Independent registers of the same area.
+  st.store(written7, b({7, 7}));
+  EXPECT_EQ(*st.retrieve(written7), b({7, 7}));
+  EXPECT_EQ(*st.retrieve(written0), b({9}));
+  EXPECT_EQ(st.store_count(), 4u);
+}
+
+template <typename Store>
+void exercise_for_each(Store& st) {
+  st.store(written0, b({1}));
+  st.store(record_key{record_area::written, 42}, b({42}));
+  st.store(written7, b({7}));
+  st.store(writing0, b({100}));  // different area: not enumerated
+  st.store(recovered, b({5}));
+
+  std::vector<std::pair<register_id, bytes>> seen;
+  st.for_each(record_area::written,
+              [&](register_id reg, const bytes& rec) { seen.emplace_back(reg, rec); });
+  ASSERT_EQ(seen.size(), 3u);
+  // Deterministic order (memory store: insertion; file store: ascending reg).
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen[0], (std::pair<register_id, bytes>{0, b({1})}));
+  EXPECT_EQ(seen[1], (std::pair<register_id, bytes>{7, b({7})}));
+  EXPECT_EQ(seen[2], (std::pair<register_id, bytes>{42, b({42})}));
+}
+
+TEST(RecordKey, EncodedSizeMatchesRenderedName) {
+  for (const record_key k :
+       {written0, written7, writing0, recovered, record_key{record_area::written, 10},
+        record_key{record_area::writing, 123456}, record_key{record_area::written, 9}}) {
+    EXPECT_EQ(k.encoded_size(), to_string(k).size()) << to_string(k);
+  }
 }
 
 TEST(MemoryStore, BasicRoundTrip) {
@@ -33,25 +71,30 @@ TEST(MemoryStore, BasicRoundTrip) {
   exercise_basic(st);
 }
 
+TEST(MemoryStore, ForEachEnumeratesArea) {
+  memory_store st;
+  exercise_for_each(st);
+}
+
 TEST(MemoryStore, WipeClearsRecords) {
   memory_store st;
-  st.store("a", b({1}));
+  st.store(written0, b({1}));
   st.wipe();
-  EXPECT_FALSE(st.retrieve("a").has_value());
+  EXPECT_FALSE(st.retrieve(written0).has_value());
 }
 
 TEST(MemoryStore, FootprintTracksContent) {
   memory_store st;
   EXPECT_EQ(st.footprint(), 0u);
-  st.store("ab", b({1, 2, 3}));
-  EXPECT_EQ(st.footprint(), 5u);
+  st.store(written0, b({1, 2, 3}));
+  EXPECT_EQ(st.footprint(), sizeof(record_key) + 3u);
 }
 
 TEST(MemoryStore, EmptyRecordAllowed) {
   memory_store st;
-  st.store("k", {});
-  ASSERT_TRUE(st.retrieve("k").has_value());
-  EXPECT_TRUE(st.retrieve("k")->empty());
+  st.store(written0, {});
+  ASSERT_TRUE(st.retrieve(written0).has_value());
+  EXPECT_TRUE(st.retrieve(written0)->empty());
 }
 
 class FileStoreTest : public ::testing::Test {
@@ -75,50 +118,58 @@ TEST_F(FileStoreTest, BasicRoundTrip) {
   exercise_basic(st);
 }
 
+TEST_F(FileStoreTest, ForEachEnumeratesArea) {
+  file_store st(dir_, false);
+  exercise_for_each(st);
+}
+
 TEST_F(FileStoreTest, SurvivesReopen) {
   {
     file_store st(dir_, false);
-    st.store("written", b({7, 7, 7}));
+    st.store(written0, b({7, 7, 7}));
+    st.store(written7, b({8}));
   }
   file_store st2(dir_, false);
-  ASSERT_TRUE(st2.retrieve("written").has_value());
-  EXPECT_EQ(*st2.retrieve("written"), b({7, 7, 7}));
+  ASSERT_TRUE(st2.retrieve(written0).has_value());
+  EXPECT_EQ(*st2.retrieve(written0), b({7, 7, 7}));
+  EXPECT_EQ(*st2.retrieve(written7), b({8}));
 }
 
 TEST_F(FileStoreTest, FsyncPathWorks) {
   file_store st(dir_, true);
-  st.store("written", b({1}));
-  EXPECT_EQ(*st.retrieve("written"), b({1}));
+  st.store(written0, b({1}));
+  EXPECT_EQ(*st.retrieve(written0), b({1}));
 }
 
-TEST_F(FileStoreTest, SanitizesHostileKeys) {
+TEST_F(FileStoreTest, KeyedRecordsUseDistinctFiles) {
   file_store st(dir_, false);
-  st.store("../../etc/passwd", b({1}));
-  st.store("a/b\\c d", b({2}));
-  st.store("", b({3}));
-  EXPECT_EQ(*st.retrieve("../../etc/passwd"), b({1}));
-  EXPECT_EQ(*st.retrieve("a/b\\c d"), b({2}));
-  EXPECT_EQ(*st.retrieve(""), b({3}));
-  // Nothing escaped the directory.
+  st.store(written0, b({1}));
+  st.store(written7, b({2}));
+  st.store(recovered, b({3}));
+  std::size_t files = 0;
   for (const auto& e : std::filesystem::directory_iterator(dir_)) {
     EXPECT_EQ(e.path().parent_path(), dir_);
+    ++files;
   }
+  EXPECT_EQ(files, 3u);
+  EXPECT_EQ(*st.retrieve(written0), b({1}));
+  EXPECT_EQ(*st.retrieve(written7), b({2}));
 }
 
 TEST_F(FileStoreTest, WipeRemovesFiles) {
   file_store st(dir_, false);
-  st.store("a", b({1}));
-  st.store("b", b({2}));
+  st.store(written0, b({1}));
+  st.store(written7, b({2}));
   st.wipe();
-  EXPECT_FALSE(st.retrieve("a").has_value());
-  EXPECT_FALSE(st.retrieve("b").has_value());
+  EXPECT_FALSE(st.retrieve(written0).has_value());
+  EXPECT_FALSE(st.retrieve(written7).has_value());
 }
 
 TEST_F(FileStoreTest, LargeRecordRoundTrip) {
   file_store st(dir_, false);
   const value big = value_of_size(64 * 1024);
-  st.store("written", big.data);
-  EXPECT_EQ(*st.retrieve("written"), big.data);
+  st.store(written0, big.data);
+  EXPECT_EQ(*st.retrieve(written0), big.data);
 }
 
 }  // namespace

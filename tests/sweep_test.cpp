@@ -1,10 +1,15 @@
-// Parameterized sweeps over cluster size x algorithm: correctness must hold
-// for any n >= 1 (majority = floor(n/2)+1), including even sizes, not just
-// the odd LAN sizes of the paper's evaluation.
+// Parameterized sweeps over cluster size x algorithm x key count:
+// correctness must hold for any n >= 1 (majority = floor(n/2)+1), including
+// even sizes, not just the odd LAN sizes of the paper's evaluation — and for
+// any number of registers multiplexed over the cluster (key count 1 is the
+// paper's single-register setting; larger counts exercise the namespace).
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "core/cluster.h"
 #include "history/atomicity.h"
+#include "history/keyed.h"
 #include "history/tag_order.h"
 #include "proto/policy.h"
 
@@ -14,6 +19,7 @@ namespace {
 struct sweep_params {
   std::uint32_t n;
   const char* policy;
+  std::uint32_t keys;
 };
 
 class SizeSweep : public ::testing::TestWithParam<sweep_params> {
@@ -28,9 +34,11 @@ class SizeSweep : public ::testing::TestWithParam<sweep_params> {
     cluster_config cfg;
     cfg.n = GetParam().n;
     cfg.policy = policy();
-    cfg.seed = 17 + GetParam().n;
+    cfg.seed = 17 + GetParam().n + 1000 * GetParam().keys;
     return cfg;
   }
+  /// The k-th register of this sweep's key set.
+  static register_id reg(std::uint32_t k) { return k % GetParam().keys; }
 };
 
 TEST_P(SizeSweep, QuorumSizeIsFloorHalfPlusOne) {
@@ -40,9 +48,14 @@ TEST_P(SizeSweep, QuorumSizeIsFloorHalfPlusOne) {
 
 TEST_P(SizeSweep, WriteReadRoundTrip) {
   cluster c(config());
-  c.write(process_id{0}, value_of_u32(11));
+  // One distinct value per register of the sweep's key set.
+  for (std::uint32_t k = 0; k < GetParam().keys; ++k) {
+    c.write(process_id{0}, reg(k), value_of_u32(11 + k));
+  }
   for (std::uint32_t p = 0; p < c.size(); ++p) {
-    EXPECT_EQ(c.read(process_id{p}), value_of_u32(11));
+    for (std::uint32_t k = 0; k < GetParam().keys; ++k) {
+      EXPECT_EQ(c.read(process_id{p}, reg(k)), value_of_u32(11 + k));
+    }
   }
 }
 
@@ -53,8 +66,8 @@ TEST_P(SizeSweep, ToleratesLargestMinorityCrash) {
     c.submit_crash(process_id{GetParam().n - 1 - i}, 0);
   }
   c.run_for(1_ms);
-  c.write(process_id{0}, value_of_u32(5));
-  EXPECT_EQ(c.read(process_id{0}), value_of_u32(5));
+  c.write(process_id{0}, reg(1), value_of_u32(5));
+  EXPECT_EQ(c.read(process_id{0}, reg(1)), value_of_u32(5));
 }
 
 TEST_P(SizeSweep, StallsWhenMajorityDown) {
@@ -70,36 +83,73 @@ TEST_P(SizeSweep, StallsWhenMajorityDown) {
   EXPECT_FALSE(c.result(w).completed);
 }
 
-TEST_P(SizeSweep, MixedWorkloadStaysAtomicAndTagOrdered) {
+TEST_P(SizeSweep, MixedWorkloadStaysAtomicAndTagOrderedPerKey) {
   cluster c(config());
   std::uint32_t v = 1;
   for (int round = 0; round < 3; ++round) {
     for (std::uint32_t p = 0; p < c.size(); ++p) {
-      c.submit_write(process_id{p}, value_of_u32(v++), c.now());
-      c.submit_read(process_id{(p + 1) % c.size()}, c.now());
+      c.submit_write(process_id{p}, reg(v), value_of_u32(v), c.now());
+      ++v;
+      c.submit_read(process_id{(p + 1) % c.size()}, reg(v), c.now());
     }
     ASSERT_TRUE(c.run_until_idle());
   }
-  const auto verdict = history::check_persistent_atomicity(c.events());
+  const auto verdict = history::check_atomicity_per_key(
+      c.events(), history::criterion::persistent);
   EXPECT_TRUE(verdict.ok) << verdict.explanation;
-  const auto order = history::check_tag_order(c.tagged_operations());
+  EXPECT_GE(verdict.keys_checked, std::min(GetParam().keys, 3u));
+  const auto order = history::check_tag_order_per_key(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+}
+
+TEST_P(SizeSweep, BatchedMixedWorkloadStaysAtomicPerKey) {
+  if (GetParam().keys < 2) GTEST_SKIP() << "batching needs >= 2 registers";
+  cluster c(config());
+  const std::uint32_t width = std::min(GetParam().keys, 4u);
+  std::uint32_t v = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t p = 0; p < c.size(); ++p) {
+      std::vector<proto::write_op> ops;
+      std::vector<register_id> regs;
+      for (std::uint32_t k = 0; k < width; ++k) {
+        ops.push_back({reg(v + k), value_of_u32(1000000 + v * 100 + k)});
+        regs.push_back(reg(v + k));
+      }
+      v += width;
+      c.submit_write_batch(process_id{p}, ops, c.now());
+      c.submit_read_batch(process_id{(p + 1) % c.size()}, regs, c.now());
+    }
+    ASSERT_TRUE(c.run_until_idle());
+  }
+  const auto verdict = history::check_atomicity_per_key(
+      c.events(), history::criterion::persistent);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto order = history::check_tag_order_per_key(c.tagged_operations());
   EXPECT_TRUE(order.ok) << order.explanation;
 }
 
 TEST_P(SizeSweep, BlackoutRecoveryWhereApplicable) {
   if (policy().crash_stop) GTEST_SKIP() << "no recovery in the crash-stop model";
   cluster c(config());
-  c.write(process_id{0}, value_of_u32(3));
+  for (std::uint32_t k = 0; k < std::min(GetParam().keys, 8u); ++k) {
+    c.write(process_id{0}, reg(k), value_of_u32(3 + k));
+  }
   c.apply(sim::make_blackout_plan(c.size(), c.now() + 1_ms, 5_ms));
   ASSERT_TRUE(c.run_until_idle());
-  EXPECT_EQ(c.read(process_id{c.size() - 1}), value_of_u32(3));
+  for (std::uint32_t k = 0; k < std::min(GetParam().keys, 8u); ++k) {
+    EXPECT_EQ(c.read(process_id{c.size() - 1}, reg(k)), value_of_u32(3 + k));
+  }
 }
 
 std::vector<sweep_params> sweep_grid() {
   std::vector<sweep_params> grid;
   for (const std::uint32_t n : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 12u}) {
     for (const char* pol : {"crash_stop", "persistent", "transient"}) {
-      grid.push_back({n, pol});
+      // Key count 1 is the paper's single register; 2 and 64 exercise the
+      // namespace (64 crosses the replica map's growth threshold).
+      for (const std::uint32_t keys : {1u, 2u, 64u}) {
+        grid.push_back({n, pol, keys});
+      }
     }
   }
   return grid;
@@ -108,7 +158,8 @@ std::vector<sweep_params> sweep_grid() {
 INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep, ::testing::ValuesIn(sweep_grid()),
                          [](const auto& info) {
                            return std::string("n") + std::to_string(info.param.n) + "_" +
-                                  info.param.policy;
+                                  info.param.policy + "_k" +
+                                  std::to_string(info.param.keys);
                          });
 
 }  // namespace
