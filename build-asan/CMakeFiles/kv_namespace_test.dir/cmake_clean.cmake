@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_namespace_test.dir/tests/kv_namespace_test.cpp.o"
+  "CMakeFiles/kv_namespace_test.dir/tests/kv_namespace_test.cpp.o.d"
+  "kv_namespace_test"
+  "kv_namespace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_namespace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recorder_test.dir/tests/recorder_test.cpp.o"
+  "CMakeFiles/recorder_test.dir/tests/recorder_test.cpp.o.d"
+  "recorder_test"
+  "recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/codec.cpp" "CMakeFiles/remus.dir/src/common/codec.cpp.o" "gcc" "CMakeFiles/remus.dir/src/common/codec.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/remus.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/remus.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/timestamp.cpp" "CMakeFiles/remus.dir/src/common/timestamp.cpp.o" "gcc" "CMakeFiles/remus.dir/src/common/timestamp.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "CMakeFiles/remus.dir/src/common/value.cpp.o" "gcc" "CMakeFiles/remus.dir/src/common/value.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "CMakeFiles/remus.dir/src/core/cluster.cpp.o" "gcc" "CMakeFiles/remus.dir/src/core/cluster.cpp.o.d"
+  "/root/repo/src/history/atomicity.cpp" "CMakeFiles/remus.dir/src/history/atomicity.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/atomicity.cpp.o.d"
+  "/root/repo/src/history/brute_force.cpp" "CMakeFiles/remus.dir/src/history/brute_force.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/brute_force.cpp.o.d"
+  "/root/repo/src/history/event.cpp" "CMakeFiles/remus.dir/src/history/event.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/event.cpp.o.d"
+  "/root/repo/src/history/keyed.cpp" "CMakeFiles/remus.dir/src/history/keyed.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/keyed.cpp.o.d"
+  "/root/repo/src/history/operations.cpp" "CMakeFiles/remus.dir/src/history/operations.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/operations.cpp.o.d"
+  "/root/repo/src/history/recorder.cpp" "CMakeFiles/remus.dir/src/history/recorder.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/recorder.cpp.o.d"
+  "/root/repo/src/history/tag_order.cpp" "CMakeFiles/remus.dir/src/history/tag_order.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/tag_order.cpp.o.d"
+  "/root/repo/src/history/wellformed.cpp" "CMakeFiles/remus.dir/src/history/wellformed.cpp.o" "gcc" "CMakeFiles/remus.dir/src/history/wellformed.cpp.o.d"
+  "/root/repo/src/metrics/op_metrics.cpp" "CMakeFiles/remus.dir/src/metrics/op_metrics.cpp.o" "gcc" "CMakeFiles/remus.dir/src/metrics/op_metrics.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "CMakeFiles/remus.dir/src/metrics/stats.cpp.o" "gcc" "CMakeFiles/remus.dir/src/metrics/stats.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "CMakeFiles/remus.dir/src/metrics/table.cpp.o" "gcc" "CMakeFiles/remus.dir/src/metrics/table.cpp.o.d"
+  "/root/repo/src/proto/message.cpp" "CMakeFiles/remus.dir/src/proto/message.cpp.o" "gcc" "CMakeFiles/remus.dir/src/proto/message.cpp.o.d"
+  "/root/repo/src/proto/policy.cpp" "CMakeFiles/remus.dir/src/proto/policy.cpp.o" "gcc" "CMakeFiles/remus.dir/src/proto/policy.cpp.o.d"
+  "/root/repo/src/proto/quorum_core.cpp" "CMakeFiles/remus.dir/src/proto/quorum_core.cpp.o" "gcc" "CMakeFiles/remus.dir/src/proto/quorum_core.cpp.o.d"
+  "/root/repo/src/proto/records.cpp" "CMakeFiles/remus.dir/src/proto/records.cpp.o" "gcc" "CMakeFiles/remus.dir/src/proto/records.cpp.o.d"
+  "/root/repo/src/proto/shared_message.cpp" "CMakeFiles/remus.dir/src/proto/shared_message.cpp.o" "gcc" "CMakeFiles/remus.dir/src/proto/shared_message.cpp.o.d"
+  "/root/repo/src/runtime/node.cpp" "CMakeFiles/remus.dir/src/runtime/node.cpp.o" "gcc" "CMakeFiles/remus.dir/src/runtime/node.cpp.o.d"
+  "/root/repo/src/runtime/service.cpp" "CMakeFiles/remus.dir/src/runtime/service.cpp.o" "gcc" "CMakeFiles/remus.dir/src/runtime/service.cpp.o.d"
+  "/root/repo/src/runtime/transport.cpp" "CMakeFiles/remus.dir/src/runtime/transport.cpp.o" "gcc" "CMakeFiles/remus.dir/src/runtime/transport.cpp.o.d"
+  "/root/repo/src/sim/disk_model.cpp" "CMakeFiles/remus.dir/src/sim/disk_model.cpp.o" "gcc" "CMakeFiles/remus.dir/src/sim/disk_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/remus.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/remus.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_plan.cpp" "CMakeFiles/remus.dir/src/sim/fault_plan.cpp.o" "gcc" "CMakeFiles/remus.dir/src/sim/fault_plan.cpp.o.d"
+  "/root/repo/src/sim/kv_workload.cpp" "CMakeFiles/remus.dir/src/sim/kv_workload.cpp.o" "gcc" "CMakeFiles/remus.dir/src/sim/kv_workload.cpp.o.d"
+  "/root/repo/src/sim/network_model.cpp" "CMakeFiles/remus.dir/src/sim/network_model.cpp.o" "gcc" "CMakeFiles/remus.dir/src/sim/network_model.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "CMakeFiles/remus.dir/src/storage/file_store.cpp.o" "gcc" "CMakeFiles/remus.dir/src/storage/file_store.cpp.o.d"
+  "/root/repo/src/storage/memory_store.cpp" "CMakeFiles/remus.dir/src/storage/memory_store.cpp.o" "gcc" "CMakeFiles/remus.dir/src/storage/memory_store.cpp.o.d"
+  "/root/repo/src/storage/stable_store.cpp" "CMakeFiles/remus.dir/src/storage/stable_store.cpp.o" "gcc" "CMakeFiles/remus.dir/src/storage/stable_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_order_test.dir/tests/tag_order_test.cpp.o"
+  "CMakeFiles/tag_order_test.dir/tests/tag_order_test.cpp.o.d"
+  "tag_order_test"
+  "tag_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
