@@ -57,20 +57,36 @@ class cluster final : private sim::sim_executor {
   explicit cluster(cluster_config cfg);
 
   // ---- Workload scheduling (virtual times, >= now()) ----
+  //
+  // Submitting never runs the simulation; it enqueues an op_dispatch event
+  // and returns a handle valid for the cluster's lifetime. Each process
+  // executes one operation at a time (the paper's well-formedness
+  // assumption): ops submitted while one is in flight queue behind it, and
+  // ops queued at a crashed process are dropped (result().dropped).
   op_handle submit_write(process_id p, value v, time_ns at) {
     return submit_write(p, default_register, std::move(v), at);
   }
   op_handle submit_read(process_id p, time_ns at) {
     return submit_read(p, default_register, at);
   }
+  /// Keyed write of register `reg` (see proto/quorum_core.h for the
+  /// durability invariants an acked write satisfies).
   op_handle submit_write(process_id p, register_id reg, value v, time_ns at);
+  /// Keyed read of register `reg`.
   op_handle submit_read(process_id p, register_id reg, time_ns at);
   /// Batched operations: one protocol operation over a set of distinct
-  /// registers (one quorum round per phase for the whole set).
+  /// registers (one quorum round per phase for the whole set). The reply
+  /// carries one (tag, value) entry per register; the history records one
+  /// invoke/reply pair per register so per-key projections stay well-formed.
   op_handle submit_write_batch(process_id p, std::vector<proto::write_op> ops, time_ns at);
   op_handle submit_read_batch(process_id p, std::vector<register_id> regs, time_ns at);
+  /// Crash at `at`: the process loses all volatile state (pending ops cut
+  /// short, queued ops dropped) and keeps only stable storage.
   void submit_crash(process_id p, time_ns at);
+  /// Recovery at `at`: runs the policy's Recover() procedure; the process
+  /// accepts new invocations only once recovery completes (is_ready()).
   void submit_recover(process_id p, time_ns at);
+  /// Schedules every event of `plan`, shifted by `offset`.
   void apply(const sim::fault_plan& plan, time_ns offset = 0);
 
   // ---- Execution ----
@@ -116,6 +132,10 @@ class cluster final : private sim::sim_executor {
   [[nodiscard]] std::uint64_t events_executed() const { return queue_.executed(); }
   /// Events currently scheduled (includes not-yet-fired stale timers).
   [[nodiscard]] std::size_t events_pending() const { return queue_.pending(); }
+  /// Lower bound on the next scheduled event's virtual time (time_ns's max
+  /// when idle); exact for imminent events. The shard router steps
+  /// independent clusters in merged order of these bounds.
+  [[nodiscard]] time_ns next_event_time() const { return queue_.next_time(); }
   [[nodiscard]] std::uint32_t size() const { return cfg_.n; }
   [[nodiscard]] const cluster_config& config() const { return cfg_; }
   [[nodiscard]] bool is_up(process_id p) const { return node_at(p).up; }

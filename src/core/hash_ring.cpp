@@ -1,0 +1,45 @@
+#include "core/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/flat_hash.h"
+
+namespace remus::core {
+
+// The splitmix64 finalizer (common/flat_hash.h): full-avalanche with fixed
+// constants, so ring placement never depends on a run's config or seed.
+std::uint64_t hash_ring::mix(std::uint64_t x) noexcept { return mix_u64(x); }
+
+hash_ring::hash_ring(std::uint32_t shard_count, std::uint32_t vnodes)
+    : shard_count_(shard_count), vnodes_(vnodes) {
+  if (shard_count == 0) throw driver_error("hash_ring: shard_count must be >= 1");
+  if (vnodes == 0) throw driver_error("hash_ring: vnodes must be >= 1");
+  ring_.reserve(static_cast<std::size_t>(shard_count) * vnodes);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    for (std::uint32_t v = 0; v < vnodes; ++v) {
+      // Distinct-stream point placement: the replica index lives in the high
+      // word so shard s's points are unrelated to shard s+1's.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint64_t>(s);
+      ring_.push_back({mix(key), s});
+    }
+  }
+  // Position ties (astronomically unlikely) break by shard index so the ring
+  // order — and therefore every placement — is deterministic.
+  std::sort(ring_.begin(), ring_.end(), [](const point& a, const point& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.shard < b.shard;
+  });
+}
+
+std::uint32_t hash_ring::shard_of(register_id reg) const noexcept {
+  const std::uint64_t h = mix(static_cast<std::uint64_t>(reg));
+  // First point clockwise from h (wrapping to the first point past 0).
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const point& p, std::uint64_t pos) { return p.pos < pos; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+}  // namespace remus::core

@@ -1,0 +1,60 @@
+// Consistent-hash ring mapping register names onto shard indices.
+//
+// The sharded namespace (shard_router.h) splits the register namespace
+// across S independent quorum groups. The ring decides placement:
+//
+//   * Each shard owns `vnodes` points ("virtual nodes") on a 64-bit ring,
+//     placed by hashing (shard, replica). A register hashes to a ring
+//     position and is owned by the first shard point clockwise from it.
+//   * Placement is a pure function of (shard_count, vnodes) and the fixed
+//     mixing constants below — deliberately independent of any simulation
+//     seed, so the same key lands on the same shard across runs, machines,
+//     and fault schedules (determinism_test relies on this).
+//   * Virtual nodes give the two classic consistent-hashing properties:
+//     balance (each shard owns ~1/S of the key space, concentration
+//     improving with vnodes) and stability (growing S -> S+1 moves only the
+//     keys whose successor point now belongs to the new shard, ~1/(S+1) of
+//     the namespace; shard_router_test pins this bound).
+//
+// The ring is immutable after construction; rebalancing builds a new ring
+// and migrates the moved keys (a future PR — see docs/ARCHITECTURE.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace remus::core {
+
+class hash_ring final {
+ public:
+  /// Builds the ring for `shard_count` shards (>= 1) with `vnodes` points
+  /// per shard (>= 1; 64 balances lookup cost against spread).
+  explicit hash_ring(std::uint32_t shard_count, std::uint32_t vnodes = 64);
+
+  /// Owning shard of `reg`: the first ring point clockwise from hash(reg).
+  /// O(log(shard_count * vnodes)), allocation-free.
+  [[nodiscard]] std::uint32_t shard_of(register_id reg) const noexcept;
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] std::uint32_t vnodes() const noexcept { return vnodes_; }
+  /// Ring points (diagnostics / balance tests).
+  [[nodiscard]] std::size_t points() const noexcept { return ring_.size(); }
+
+  /// The fixed 64-bit key hash the ring positions registers by (exposed so
+  /// workload generators can pre-bucket keys without a ring instance).
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept;
+
+ private:
+  struct point {
+    std::uint64_t pos = 0;     // position on the ring
+    std::uint32_t shard = 0;   // owner
+  };
+
+  std::uint32_t shard_count_;
+  std::uint32_t vnodes_;
+  std::vector<point> ring_;  // sorted by (pos, shard)
+};
+
+}  // namespace remus::core

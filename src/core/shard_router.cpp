@@ -1,0 +1,275 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "history/keyed.h"
+
+namespace remus::core {
+
+namespace {
+constexpr time_ns no_time = std::numeric_limits<time_ns>::max();
+/// Lockstep window: after every scheduling round all shard clocks sit on a
+/// common boundary at most this far past the earliest pending event. Small
+/// enough that cross-shard timestamps stay comparable at protocol
+/// granularity, large enough that a round retires a whole message exchange.
+constexpr time_ns lockstep_window = 100 * 1000;  // 100 us
+}  // namespace
+
+shard_router::shard_router(shard_router_config cfg)
+    : cfg_(std::move(cfg)), ring_(cfg_.shards, cfg_.vnodes) {
+  // (shards == 0 already rejected by ring_'s constructor.)
+  shards_.reserve(cfg_.shards);
+  split_ops_.resize(cfg_.shards);
+  split_regs_.resize(cfg_.shards);
+  split_pos_.resize(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    cluster_config shard_cfg = cfg_.base;
+    shard_cfg.seed = cfg_.base.seed + s * cfg_.seed_stride;
+    shards_.push_back(std::make_unique<cluster>(std::move(shard_cfg)));
+  }
+}
+
+cluster& shard_router::shard(std::uint32_t s) {
+  if (s >= shards_.size()) throw driver_error("shard_router: bad shard index");
+  return *shards_[s];
+}
+
+const cluster& shard_router::shard(std::uint32_t s) const {
+  if (s >= shards_.size()) throw driver_error("shard_router: bad shard index");
+  return *shards_[s];
+}
+
+void shard_router::check_local(process_id p) const {
+  if (!p.valid() || p.index >= cfg_.base.n) {
+    throw driver_error("shard_router: process id must be a local index < base.n");
+  }
+}
+
+// ---- Workload scheduling ----------------------------------------------------
+
+shard_router::op_handle shard_router::submit_write(process_id p, register_id reg,
+                                                   value v, time_ns at) {
+  check_local(p);
+  const std::uint32_t s = shard_of(reg);
+  routed_op op;
+  op.is_read = false;
+  op.p = p;
+  op.subs.push_back({s, shards_[s]->submit_write(p, reg, std::move(v), at)});
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+shard_router::op_handle shard_router::submit_read(process_id p, register_id reg,
+                                                  time_ns at) {
+  check_local(p);
+  const std::uint32_t s = shard_of(reg);
+  routed_op op;
+  op.is_read = true;
+  op.p = p;
+  op.subs.push_back({s, shards_[s]->submit_read(p, reg, at)});
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+shard_router::op_handle shard_router::submit_write_batch(
+    process_id p, std::vector<proto::write_op> ops, time_ns at) {
+  check_local(p);
+  if (ops.empty()) throw driver_error("shard_router: empty write batch");
+  for (auto& g : split_ops_) g.clear();
+  for (auto& g : split_pos_) g.clear();
+  for (std::uint32_t i = 0; i < ops.size(); ++i) {
+    const std::uint32_t s = shard_of(ops[i].reg);
+    split_ops_[s].push_back(std::move(ops[i]));
+    split_pos_[s].push_back(i);
+  }
+  routed_op op;
+  op.is_read = false;
+  op.is_batch = true;
+  op.p = p;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (split_ops_[s].empty()) continue;
+    // Moving the scratch is safe: the next submit clears it before use.
+    op.subs.push_back(
+        {s, shards_[s]->submit_write_batch(p, std::move(split_ops_[s]), at)});
+    op.original_pos.insert(op.original_pos.end(), split_pos_[s].begin(),
+                           split_pos_[s].end());
+  }
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+shard_router::op_handle shard_router::submit_read_batch(process_id p,
+                                                        std::vector<register_id> regs,
+                                                        time_ns at) {
+  check_local(p);
+  if (regs.empty()) throw driver_error("shard_router: empty read batch");
+  for (auto& g : split_regs_) g.clear();
+  for (auto& g : split_pos_) g.clear();
+  for (std::uint32_t i = 0; i < regs.size(); ++i) {
+    const std::uint32_t s = shard_of(regs[i]);
+    split_regs_[s].push_back(regs[i]);
+    split_pos_[s].push_back(i);
+  }
+  routed_op op;
+  op.is_read = true;
+  op.is_batch = true;
+  op.p = p;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (split_regs_[s].empty()) continue;
+    op.subs.push_back(
+        {s, shards_[s]->submit_read_batch(p, std::move(split_regs_[s]), at)});
+    op.original_pos.insert(op.original_pos.end(), split_pos_[s].begin(),
+                           split_pos_[s].end());
+  }
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void shard_router::submit_crash(std::uint32_t s, process_id p, time_ns at) {
+  shard(s).submit_crash(p, at);
+}
+
+void shard_router::submit_recover(std::uint32_t s, process_id p, time_ns at) {
+  shard(s).submit_recover(p, at);
+}
+
+void shard_router::apply(std::uint32_t s, const sim::fault_plan& plan, time_ns offset) {
+  shard(s).apply(plan, offset);
+}
+
+// ---- Execution ---------------------------------------------------------------
+
+bool shard_router::run_until_idle(std::uint64_t max_events) {
+  const std::uint64_t start = events_executed();
+  for (;;) {
+    // Merged-order scheduling: find the earliest pending event anywhere,
+    // then run *every* shard through a lockstep window covering it. Shards
+    // are independent, so intra-window interleaving cannot change any
+    // shard's behavior; the window only keeps the clocks aligned.
+    time_ns next = no_time;
+    for (const auto& s : shards_) next = std::min(next, s->next_event_time());
+    if (next == no_time) break;  // all queues drained
+    const time_ns target = next + lockstep_window;
+    for (const auto& s : shards_) {
+      if (target > s->now()) s->run_for(target - s->now());
+    }
+    if (events_executed() - start > max_events) return false;
+  }
+  sync_clocks_to(now());
+  return true;
+}
+
+void shard_router::run_for(time_ns d) { sync_clocks_to(now() + d); }
+
+void shard_router::sync_clocks_to(time_ns t) {
+  for (const auto& s : shards_) {
+    if (t > s->now()) s->run_for(t - s->now());
+  }
+}
+
+value shard_router::read(process_id p, register_id reg) {
+  check_local(p);
+  cluster& owner = owner_of(reg);
+  value v = owner.read(p, reg);
+  sync_clocks_to(owner.now());
+  return v;
+}
+
+void shard_router::write(process_id p, register_id reg, value v) {
+  check_local(p);
+  cluster& owner = owner_of(reg);
+  owner.write(p, reg, std::move(v));
+  sync_clocks_to(owner.now());
+}
+
+// ---- Results & introspection -------------------------------------------------
+
+const shard_router::op_result& shard_router::result(op_handle h) const {
+  if (h >= ops_.size()) throw driver_error("shard_router: bad op handle");
+  const routed_op& op = ops_[h];
+  if (!op.merged_final) merge_result(op);
+  return op.merged;
+}
+
+void shard_router::merge_result(const routed_op& op) const {
+  op_result r;
+  r.submitted = true;
+  r.is_read = op.is_read;
+  r.is_batch = op.is_batch;
+  r.p = op.p;
+  r.completed = true;
+  r.invoked_at = no_time;
+  if (op.is_batch) r.batch_result.resize(op.original_pos.size());
+  std::size_t flat = 0;  // position in the grouped-by-shard flattening
+  bool all_terminal = true;  // every sub either completed or dropped
+  for (const sub_op& so : op.subs) {
+    const cluster::op_result& sub = shards_[so.shard]->result(so.h);
+    if (sub.dropped) r.dropped = true;
+    if (!sub.completed) {
+      r.completed = false;
+      if (!sub.dropped) all_terminal = false;
+    } else {
+      r.invoked_at = std::min(r.invoked_at, sub.invoked_at);
+      r.completed_at = std::max(r.completed_at, sub.completed_at);
+    }
+    if (op.is_batch) {
+      if (sub.completed) {
+        for (std::size_t j = 0; j < sub.batch_result.size(); ++j) {
+          r.batch_result[op.original_pos[flat + j]] = sub.batch_result[j];
+        }
+      }
+      flat += sub.batch_args.size();
+    } else if (sub.completed) {
+      r.reg = sub.reg;
+      r.v = sub.v;
+      r.applied = sub.applied;
+    }
+  }
+  if (r.invoked_at == no_time) r.invoked_at = 0;
+  op.merged = std::move(r);
+  // Cache only once every sub-op has reached a terminal state: a merge with
+  // one sub dropped but another still in flight must keep refreshing, or
+  // the in-flight sub-batch's results would freeze as defaults forever.
+  op.merged_final = all_terminal;
+}
+
+history::history_log shard_router::events() const {
+  std::vector<history::history_log> logs;
+  logs.reserve(shards_.size());
+  for (const auto& s : shards_) logs.push_back(s->events());
+  return history::merge_shard_histories(logs, cfg_.base.n);
+}
+
+std::vector<history::tagged_op> shard_router::tagged_operations() const {
+  std::vector<history::tagged_op> out;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    for (history::tagged_op top : shards_[s]->tagged_operations()) {
+      top.p = global_process(s, top.p);
+      out.push_back(std::move(top));
+    }
+  }
+  return out;
+}
+
+time_ns shard_router::now() const {
+  time_ns t = 0;
+  for (const auto& s : shards_) t = std::max(t, s->now());
+  return t;
+}
+
+std::uint64_t shard_router::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->events_executed();
+  return n;
+}
+
+std::size_t shard_router::events_pending() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->events_pending();
+  return n;
+}
+
+}  // namespace remus::core

@@ -1,0 +1,198 @@
+// shard_router: the composition layer above cluster — a sharded register
+// namespace served by S *independent* quorum groups.
+//
+// The paper's emulation (and core::cluster) serves its whole namespace from
+// one majority cluster, so capacity is capped by a single quorum's
+// throughput. The router consistently hashes every register_id onto one of S
+// clusters (hash_ring.h) and exposes the same keyed API; because
+// linearizability is compositional per register and every register lives on
+// exactly one shard, the sharded namespace is atomic as long as each shard's
+// quorum emulation is — exactly what history::check_atomicity_per_key
+// verifies on the merged history. This is the "compose crash-recovery
+// building blocks into larger services" direction of Kozhaya et al., "You
+// Only Live Multiple Times".
+//
+// Independence is total: each shard has its own n processes, protocol cores,
+// stable-storage namespace, network/disk models, fault schedule, and event
+// queue. No message, log record, or timer ever crosses a shard. The router
+// contributes exactly three things:
+//
+//   * routing     — shard_of(reg) via the seed-independent hash ring;
+//   * scheduling  — run_until_idle()/run_for() advance all S event queues in
+//     merged virtual-time order (lockstep windows bounded by each queue's
+//     next_event_time()), so the shards share one global clock and the
+//     merged history's timestamps are comparable across shards;
+//   * merging     — a batch over keys of several shards splits into one
+//     sub-batch per shard (one quorum round per phase *per shard touched*),
+//     completes when every sub-batch has, and reassembles per-key results in
+//     the caller's original key order. Histories and tagged operations merge
+//     with shard s's processes renumbered to s*n .. s*n+n-1 (global ids), so
+//     cross-shard process identities never collide.
+//
+// Typical use:
+//
+//   core::shard_router_config cfg;
+//   cfg.shards = 4;
+//   cfg.base.n = 3;
+//   core::shard_router r(cfg);
+//   r.write(process_id{0}, /*reg=*/7, value_of_u32(1));   // routed to 7's shard
+//   auto v = r.read(process_id{1}, 7);
+//   auto verdict = history::check_persistent_atomicity_per_key(r.events());
+//
+// Determinism: a run is a pure function of (shard_router_config, submitted
+// workload). Key placement is additionally seed-independent (see hash_ring).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/hash_ring.h"
+
+namespace remus::core {
+
+struct shard_router_config {
+  /// Number of independent quorum groups (>= 1).
+  std::uint32_t shards = 1;
+  /// Virtual nodes per shard on the placement ring (see hash_ring.h).
+  std::uint32_t vnodes = 64;
+  /// Template for every shard's cluster. Shard s runs `base` with
+  /// seed = base.seed + s * seed_stride, so shards see independent random
+  /// streams (jitter, epochs) while the whole router stays reproducible
+  /// from base.seed.
+  cluster_config base;
+  std::uint64_t seed_stride = 0x9e3779b97f4a7c15ULL;
+};
+
+class shard_router final {
+ public:
+  using op_handle = std::uint64_t;
+
+  explicit shard_router(shard_router_config cfg);
+
+  // ---- Routing ----
+  [[nodiscard]] std::uint32_t shard_of(register_id reg) const noexcept {
+    return ring_.shard_of(reg);
+  }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const hash_ring& ring() const noexcept { return ring_; }
+  /// Direct access to one shard's cluster (faults, metrics, inspection).
+  [[nodiscard]] cluster& shard(std::uint32_t s);
+  [[nodiscard]] const cluster& shard(std::uint32_t s) const;
+  /// Processes per shard (cfg.base.n); global process ids run to
+  /// shard_count() * procs_per_shard().
+  [[nodiscard]] std::uint32_t procs_per_shard() const noexcept { return cfg_.base.n; }
+  /// Global identity of shard `s`'s local process `local` — the renumbering
+  /// used by events() and tagged_operations().
+  [[nodiscard]] process_id global_process(std::uint32_t s, process_id local) const {
+    return process_id{s * cfg_.base.n + local.index};
+  }
+
+  // ---- Workload scheduling (virtual times, >= now()) ----
+  //
+  // `p` is a *local* process index, 0 .. procs_per_shard()-1: a router-level
+  // client enters each shard through that shard's replica p (the classic
+  // client-library model — the same logical client appears as a distinct
+  // global process per shard, which is sound because well-formedness is
+  // per process per shard).
+  op_handle submit_write(process_id p, register_id reg, value v, time_ns at);
+  op_handle submit_read(process_id p, register_id reg, time_ns at);
+  /// Splits `ops` by owning shard (one cluster batch per shard touched) and
+  /// completes when every sub-batch has. result().batch_result restores the
+  /// caller's key order.
+  op_handle submit_write_batch(process_id p, std::vector<proto::write_op> ops,
+                               time_ns at);
+  op_handle submit_read_batch(process_id p, std::vector<register_id> regs, time_ns at);
+  /// Faults are per shard: crash/recover local process `p` of shard `s`.
+  void submit_crash(std::uint32_t s, process_id p, time_ns at);
+  void submit_recover(std::uint32_t s, process_id p, time_ns at);
+  void apply(std::uint32_t s, const sim::fault_plan& plan, time_ns offset = 0);
+
+  // ---- Execution ----
+  /// Runs all shards until no events remain anywhere, advancing the S event
+  /// queues in merged virtual-time order. Returns false if `max_events`
+  /// (total across shards) elapsed first.
+  bool run_until_idle(std::uint64_t max_events = 50'000'000);
+  /// Runs every shard's events with timestamps <= now()+d, then advances all
+  /// clocks to now()+d.
+  void run_for(time_ns d);
+
+  // ---- Synchronous convenience ----
+  /// Submit now + run the owning shard until the op completes, then advance
+  /// the other shards to the same instant (so sequential cross-shard calls
+  /// keep a meaningful global real-time order).
+  value read(process_id p, register_id reg);
+  void write(process_id p, register_id reg, value v);
+
+  // ---- Results & introspection ----
+  /// Mirror of cluster::op_result, merged across the op's sub-batches.
+  struct op_result {
+    bool submitted = false;
+    bool completed = false;  // every sub-op completed
+    bool dropped = false;    // some sub-op was dropped behind a crash
+    bool is_read = false;
+    bool is_batch = false;
+    process_id p;                        // local client index
+    register_id reg = default_register;  // single-key ops
+    value v;
+    tag applied;
+    /// Batched ops: per-register results in the caller's original key order.
+    std::vector<proto::batch_entry> batch_result;
+    time_ns invoked_at = 0;   // min across sub-ops
+    time_ns completed_at = 0; // max across sub-ops
+  };
+  [[nodiscard]] const op_result& result(op_handle h) const;
+
+  /// Merged keyed history, processes renumbered to global ids and events
+  /// ordered by the shared virtual clock (history::merge_shard_histories).
+  [[nodiscard]] history::history_log events() const;
+  /// Merged tagged operations (global process ids) for per-key tag-order
+  /// verification.
+  [[nodiscard]] std::vector<history::tagged_op> tagged_operations() const;
+  /// The shared virtual clock: max over shard clocks (they stay aligned
+  /// after every run_* call).
+  [[nodiscard]] time_ns now() const;
+  /// Total simulator events executed across all shards.
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::size_t events_pending() const;
+  [[nodiscard]] const shard_router_config& config() const { return cfg_; }
+
+ private:
+  struct sub_op {
+    std::uint32_t shard = 0;
+    cluster::op_handle h = 0;
+  };
+  struct routed_op {
+    bool is_read = false;
+    bool is_batch = false;
+    process_id p;
+    std::vector<sub_op> subs;
+    /// Original position of each per-key result, in (sub, sub-batch-entry)
+    /// flattening order — inverse of the split's grouping by shard.
+    std::vector<std::uint32_t> original_pos;
+    /// Lazily (re)built merged view; valid once every sub-op completed.
+    mutable op_result merged;
+    mutable bool merged_final = false;
+  };
+
+  [[nodiscard]] cluster& owner_of(register_id reg) { return *shards_[shard_of(reg)]; }
+  void check_local(process_id p) const;
+  /// Advances every shard's clock to `t` (no-op for shards already there).
+  void sync_clocks_to(time_ns t);
+  void merge_result(const routed_op& op) const;
+
+  shard_router_config cfg_;
+  hash_ring ring_;
+  std::vector<std::unique_ptr<cluster>> shards_;
+  std::vector<routed_op> ops_;
+
+  // submit_*_batch scratch: per-shard grouping buffers (sized shard_count).
+  std::vector<std::vector<proto::write_op>> split_ops_;
+  std::vector<std::vector<register_id>> split_regs_;
+  std::vector<std::vector<std::uint32_t>> split_pos_;
+};
+
+}  // namespace remus::core

@@ -28,6 +28,26 @@ keyed_check_result check_with(const history_log& h, criterion c, check_fn check)
 
 }  // namespace
 
+history_log merge_shard_histories(const std::vector<history_log>& shards,
+                                  std::uint32_t procs_per_shard) {
+  history_log out;
+  std::size_t total = 0;
+  for (const history_log& h : shards) total += h.size();
+  out.reserve(total);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const auto offset = static_cast<std::uint32_t>(s) * procs_per_shard;
+    for (event e : shards[s]) {
+      e.p.index += offset;
+      out.push_back(std::move(e));
+    }
+  }
+  // Stable: timestamp ties keep concatenation order (shard, then each
+  // shard's own order), so the merge is deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const event& a, const event& b) { return a.at < b.at; });
+  return out;
+}
+
 std::vector<register_id> keys_of(const history_log& h) {
   std::vector<register_id> keys;
   for (const event& e : h) {

@@ -21,6 +21,21 @@ namespace remus::history {
 /// Distinct registers appearing in `h`'s invoke/reply events, ascending.
 [[nodiscard]] std::vector<register_id> keys_of(const history_log& h);
 
+/// Merges per-shard keyed histories into one global history.
+///
+/// Shard s's processes are renumbered into the disjoint global range
+/// [s * procs_per_shard, (s+1) * procs_per_shard) — without the renumbering
+/// shard 1's crash of local process 0 would cut short shard 0's process 0's
+/// pending operations in every projection. Events are ordered by timestamp;
+/// shards are independent (no message ever crosses one), so a timestamp tie
+/// carries no causal order and breaks deterministically by (shard, each
+/// shard's own order). The result is a well-formed keyed history: every
+/// register lives on exactly one shard, so each per-key projection contains
+/// one shard's operations plus (harmless) foreign-process crash/recover
+/// events, and check_atomicity_per_key applies unchanged.
+[[nodiscard]] history_log merge_shard_histories(const std::vector<history_log>& shards,
+                                                std::uint32_t procs_per_shard);
+
 /// The single-register projection of `h` onto `reg` (see file comment).
 [[nodiscard]] history_log project_key(const history_log& h, register_id reg);
 

@@ -61,15 +61,56 @@ class quorum_core final : public register_core {
   using register_core::replica_tag;
   using register_core::replica_value;
 
+  // The sans-I/O contract: every entry point appends *effects* (messages to
+  // send, records to log, timers to arm, an operation outcome) to `out`; the
+  // driver (core::cluster or runtime::node) executes them. The core never
+  // performs I/O itself, which is what makes the same state machine run
+  // under the simulator, the threaded runtime, and the unit tests.
+
+  /// First call after construction; must emit no effects (a fresh process
+  /// has nothing pending — recovery of a non-fresh one goes via recover()).
   void start(outputs& out) override;
+  /// Begins a write of `reg`. Durability invariant on completion: when the
+  /// write's outcome is reported, a majority of processes have the written
+  /// (tag, value) in *stable* storage ([persistent] additionally: the writer
+  /// logged its (writing) pre-log before round 2, so a crashed writer's
+  /// recovery can finish the write). Tag invariant: the chosen tag exceeds
+  /// every tag a query majority reported (Lemma 1(ii): later writes get
+  /// strictly larger tags).
   void invoke_write(register_id reg, const value& v, outputs& out) override;
+  /// Begins a read of `reg`. Invariant on completion: the returned (tag,
+  /// value) — the freshest of a query majority — is itself at a majority
+  /// (write-back round; replicas log before acking iff they adopt), so no
+  /// later read can return an older value (Lemma 1(i)).
   void invoke_read(register_id reg, outputs& out) override;
+  /// Batched variants: the same two rounds over a set of *distinct*
+  /// registers — one broadcast per phase carries every key's entry, and a
+  /// replica acks a batched update only after ALL of its adopted keys' logs
+  /// are durable (the per-key invariants above then hold key-by-key).
   void invoke_write_batch(const std::vector<write_op>& ops, outputs& out) override;
   void invoke_read_batch(const std::vector<register_id>& regs, outputs& out) override;
+  /// Feeds a delivered message. Safe under fair-lossy channels: duplicates,
+  /// reordering, and stale-epoch traffic are tolerated (acks are matched by
+  /// (origin, epoch, op_seq, round); replicas adopt-if-newer, so replay is
+  /// idempotent).
   void on_message(const message& m, outputs& out) override;
+  /// Completion of the stable-storage write identified by `token`. Acks
+  /// deferred on durability (server adopts, writer pre-logs) are released
+  /// here — never before the log is on disk; that ordering IS the paper's
+  /// causal-log discipline.
   void on_log_done(std::uint64_t token, outputs& out) override;
+  /// Retransmission timer: re-broadcasts the in-flight phase's message
+  /// (fair-lossy channels deliver a message sent infinitely often).
   void on_timer(std::uint64_t token, outputs& out) override;
+  /// Loses ALL volatile state (replica map, in-flight operation, pending
+  /// acks); stable storage survives. The driver must discard every
+  /// outstanding effect of this incarnation.
   void crash() override;
+  /// Runs the policy's Recover() with a fresh epoch: restore volatile state
+  /// from the (written) records, then [persistent] finish every pre-logged
+  /// write via a batched round-2, or [transient] durably bump the recovery
+  /// counter. ready() stays false — and invocations are rejected — until
+  /// the procedure's own quorum rounds/logs complete.
   void recover(std::uint64_t new_epoch, outputs& out) override;
 
   [[nodiscard]] bool idle() const override { return cl_.phase == phase_kind::idle; }

@@ -155,6 +155,16 @@ void event_queue::advance_flush() {
   }
 }
 
+time_ns event_queue::next_time() const {
+  time_ns t = no_time;
+  if (ring_count_ != 0) {
+    const bucket& bk = ring_[first_bucket()];
+    t = bk.v[bk.head].at;
+  }
+  if (w2_count_ != 0 || !far_.empty()) t = std::min(t, next_band_time());
+  return t;
+}
+
 time_ns event_queue::next_band_time() const {
   time_ns t = far_.empty() ? no_time : far_[0].at;
   if (w2_count_ != 0) {

@@ -130,6 +130,12 @@ class event_queue {
   std::uint64_t run_until(time_ns deadline);
 
   [[nodiscard]] time_ns now() const noexcept { return now_; }
+  /// Lower bound on the earliest pending event's timestamp: exact when an
+  /// imminent (calendar-ring) event exists, a bucket-start bound for
+  /// wheel/overflow events, and time_ns's max when the queue is empty.
+  /// Read-only (no cascade happens). The shard router uses it to advance
+  /// independent clusters' clocks in merged virtual-time order.
+  [[nodiscard]] time_ns next_time() const;
   [[nodiscard]] bool empty() const noexcept {
     return ring_count_ == 0 && w2_count_ == 0 && far_.empty();
   }

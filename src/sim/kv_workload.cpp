@@ -65,13 +65,30 @@ std::vector<kv_op> make_kv_workload(const kv_workload_config& cfg) {
     op.is_read = r.chance(cfg.read_fraction);
 
     // Distinct keys per batch: rejection-sample against the batch so far
-    // (batches are small relative to the keyspace).
+    // (total because batch_size <= key_count is enforced above). Shard-local
+    // batching additionally rejects keys outside the first key's shard, and
+    // *that* filter needs the attempt cap: an adversarial placement could
+    // leave a shard with fewer than batch_size keys, so the batch is emitted
+    // smaller rather than looping forever.
+    const bool shard_local =
+        cfg.shard_local_batches && cfg.shard_map && cfg.batch_size > 1;
     scratch.clear();
+    std::uint32_t home_shard = 0;
+    std::uint32_t attempts = 0;
+    const std::uint32_t max_attempts = 64 * cfg.batch_size;
     while (scratch.size() < cfg.batch_size) {
+      if (shard_local && !scratch.empty() && ++attempts > max_attempts) break;
       const auto reg = static_cast<register_id>(keys.sample(r));
-      if (std::find(scratch.begin(), scratch.end(), reg) == scratch.end()) {
-        scratch.push_back(reg);
+      if (std::find(scratch.begin(), scratch.end(), reg) != scratch.end()) continue;
+      if (shard_local) {
+        const std::uint32_t s = cfg.shard_map(reg);
+        if (scratch.empty()) {
+          home_shard = s;
+        } else if (s != home_shard) {
+          continue;
+        }
       }
+      scratch.push_back(reg);
     }
     op.entries.reserve(scratch.size());
     for (const register_id reg : scratch) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -48,6 +49,18 @@ struct kv_workload_config {
   std::uint32_t ops = 1000;         // total operations generated
   time_ns mean_gap = 200 * 1000;    // mean inter-arrival per process
   std::uint64_t seed = 1;
+
+  /// Shard-aware batching. `shard_map` names the shard owning each register
+  /// (e.g. core::hash_ring::shard_of, passed as a function so sim/ stays
+  /// independent of core/). When `shard_local_batches` is set, every batch's
+  /// keys come from one shard — the shard of the batch's first sampled key —
+  /// so a batched operation never splits across quorum groups (the split
+  /// costs one quorum round *per shard touched*; shard-local clients avoid
+  /// it). If a shard's key population runs out before `batch_size` distinct
+  /// keys are found, the batch is emitted smaller rather than looping
+  /// forever. Ignored when shard_map is empty or batch_size == 1.
+  std::function<std::uint32_t(register_id)> shard_map;
+  bool shard_local_batches = false;
 };
 
 /// One generated operation: `entries` lists the distinct target registers

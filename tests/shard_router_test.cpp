@@ -1,0 +1,324 @@
+// Sharded-namespace tests: consistent-hash ring determinism and stability,
+// routing through independent quorum groups, cross-shard batch split/merge,
+// and per-key atomicity of the merged multi-shard history under concurrent
+// crashes in several shards at once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "history/keyed.h"
+#include "history/tag_order.h"
+#include "proto/policy.h"
+#include "sim/kv_workload.h"
+
+namespace remus::core {
+namespace {
+
+shard_router_config router_cfg(std::uint32_t shards, std::uint32_t n = 3,
+                               std::uint64_t seed = 11) {
+  shard_router_config cfg;
+  cfg.shards = shards;
+  cfg.base.n = n;
+  cfg.base.policy = proto::persistent_policy();
+  cfg.base.seed = seed;
+  return cfg;
+}
+
+// ---------- Hash ring ----------
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  const hash_ring a(4, 64);
+  const hash_ring b(4, 64);
+  for (register_id reg = 0; reg < 10'000; ++reg) {
+    ASSERT_EQ(a.shard_of(reg), b.shard_of(reg)) << "register " << reg;
+  }
+}
+
+TEST(HashRing, SeedIndependentPlacement) {
+  // Placement must not depend on any run configuration: two routers with
+  // different seeds route every key identically.
+  shard_router r1(router_cfg(4, 3, /*seed=*/1));
+  shard_router r2(router_cfg(4, 3, /*seed=*/999));
+  for (register_id reg = 0; reg < 2'000; ++reg) {
+    ASSERT_EQ(r1.shard_of(reg), r2.shard_of(reg));
+  }
+}
+
+TEST(HashRing, EveryShardOwnsAFairSlice) {
+  const std::uint32_t shards = 8;
+  const hash_ring ring(shards, 64);
+  std::vector<std::uint32_t> owned(shards, 0);
+  const std::uint32_t keys = 64 * 1024;
+  for (register_id reg = 0; reg < keys; ++reg) owned[ring.shard_of(reg)]++;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    // Perfect balance is keys/shards; virtual nodes keep every shard within
+    // a loose 2x band of it (the classic consistent-hashing concentration).
+    EXPECT_GT(owned[s], keys / shards / 2) << "shard " << s << " underloaded";
+    EXPECT_LT(owned[s], keys / shards * 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(HashRing, GrowingTheRingMovesAboutOneOverSKeys) {
+  // Consistent hashing's point: going S -> S+1 only remaps keys whose
+  // successor point now belongs to the new shard — ~1/(S+1) of them —
+  // while modulo hashing would remap almost everything.
+  const std::uint32_t keys = 32 * 1024;
+  for (std::uint32_t s : {2u, 4u, 8u}) {
+    const hash_ring before(s, 64);
+    const hash_ring after(s + 1, 64);
+    std::uint32_t moved = 0;
+    for (register_id reg = 0; reg < keys; ++reg) {
+      const std::uint32_t was = before.shard_of(reg);
+      const std::uint32_t is = after.shard_of(reg);
+      if (was == is) continue;
+      ++moved;
+      // A key that moves must move *to the new shard*: old shards never
+      // trade keys among themselves when one shard is added.
+      EXPECT_EQ(is, s) << "register " << reg << " moved between old shards";
+    }
+    const double expected = static_cast<double>(keys) / (s + 1);
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(static_cast<double>(moved), 2.0 * expected)
+        << "grow " << s << "->" << s + 1 << " moved " << moved;
+  }
+}
+
+TEST(HashRing, RejectsEmptyConfigurations) {
+  EXPECT_THROW(hash_ring(0, 64), driver_error);
+  EXPECT_THROW(hash_ring(4, 0), driver_error);
+}
+
+// ---------- Routing & merged results ----------
+
+TEST(ShardRouter, WriteThenReadRoundTripsAcrossShards) {
+  shard_router r(router_cfg(4));
+  // Pick registers landing on distinct shards so the test exercises several
+  // quorum groups.
+  std::set<std::uint32_t> seen;
+  std::vector<register_id> regs;
+  for (register_id reg = 0; regs.size() < 4 && reg < 1000; ++reg) {
+    if (seen.insert(r.shard_of(reg)).second) regs.push_back(reg);
+  }
+  ASSERT_EQ(regs.size(), 4u);
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    r.write(process_id{0}, regs[i], value_of_u32(static_cast<std::uint32_t>(100 + i)));
+  }
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    EXPECT_EQ(value_as_u32(r.read(process_id{1}, regs[i])),
+              static_cast<std::uint32_t>(100 + i));
+  }
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  EXPECT_EQ(verdict.keys_checked, regs.size());
+}
+
+TEST(ShardRouter, SingleShardRouterMatchesClusterSemantics) {
+  shard_router r(router_cfg(1));
+  const auto h = r.submit_write(process_id{0}, 7, value_of_u32(42), 0);
+  ASSERT_TRUE(r.run_until_idle());
+  const auto& res = r.result(h);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.reg, 7u);
+  EXPECT_EQ(value_as_u32(res.v), 42u);
+  EXPECT_GT(res.completed_at, res.invoked_at);
+}
+
+TEST(ShardRouter, CrossShardBatchSplitsAndMergesInOriginalOrder) {
+  shard_router r(router_cfg(4));
+  // A batch spanning many registers necessarily touches several shards.
+  std::vector<proto::write_op> ops;
+  std::vector<register_id> regs;
+  for (register_id reg = 0; reg < 12; ++reg) {
+    ops.push_back({reg, value_of_u32(1000 + reg)});
+    regs.push_back(reg);
+  }
+  std::set<std::uint32_t> shards_touched;
+  for (const auto& o : ops) shards_touched.insert(r.shard_of(o.reg));
+  ASSERT_GT(shards_touched.size(), 1u);
+
+  const auto wh = r.submit_write_batch(process_id{0}, ops, 0);
+  ASSERT_TRUE(r.run_until_idle());
+  const auto& wres = r.result(wh);
+  ASSERT_TRUE(wres.completed);
+  ASSERT_EQ(wres.batch_result.size(), ops.size());
+  // Results come back in the caller's original key order regardless of how
+  // the split grouped them by shard.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(wres.batch_result[i].reg, ops[i].reg);
+    EXPECT_EQ(wres.batch_result[i].val, ops[i].val);
+  }
+
+  const auto rh = r.submit_read_batch(process_id{1}, regs, r.now());
+  ASSERT_TRUE(r.run_until_idle());
+  const auto& rres = r.result(rh);
+  ASSERT_TRUE(rres.completed);
+  ASSERT_EQ(rres.batch_result.size(), regs.size());
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    EXPECT_EQ(rres.batch_result[i].reg, regs[i]);
+    EXPECT_EQ(rres.batch_result[i].val, ops[i].val) << "register " << regs[i];
+  }
+
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(ShardRouter, MergedHistoryUsesDisjointGlobalProcessIds) {
+  shard_router r(router_cfg(3));
+  // Crash local process 0 in shards 0 and 1: the merged history must show
+  // them as two different global processes, or one shard's crash would cut
+  // short the other's pending operations in every projection.
+  r.submit_crash(0, process_id{0}, 1_ms);
+  r.submit_crash(1, process_id{0}, 1_ms);
+  r.submit_recover(0, process_id{0}, 5_ms);
+  r.submit_recover(1, process_id{0}, 5_ms);
+  ASSERT_TRUE(r.run_until_idle());
+  std::set<std::uint32_t> crashed;
+  for (const auto& e : r.events()) {
+    if (e.kind == history::event_kind::crash) crashed.insert(e.p.index);
+  }
+  EXPECT_EQ(crashed, (std::set<std::uint32_t>{
+                         r.global_process(0, process_id{0}).index,
+                         r.global_process(1, process_id{0}).index}));
+}
+
+TEST(ShardRouter, DroppedSubOpDoesNotFreezeAnInFlightSubBatch) {
+  shard_router r(router_cfg(2));
+  // Two registers on different shards.
+  register_id reg_a = 0;
+  register_id reg_b = 0;
+  for (register_id reg = 1; reg < 1000; ++reg) {
+    if (r.shard_of(reg) != r.shard_of(reg_a)) {
+      reg_b = reg;
+      break;
+    }
+  }
+  ASSERT_NE(r.shard_of(reg_a), r.shard_of(reg_b));
+
+  // Queue the batch's reg_a half behind a filler write on reg_a's shard,
+  // then crash that client (no recovery): the queued half is dropped with
+  // it, while reg_b's shard serves its half of the batch normally.
+  r.submit_write(process_id{0}, reg_a, value_of_u32(9), 0);
+  const auto h = r.submit_write_batch(
+      process_id{0}, {{reg_a, value_of_u32(1)}, {reg_b, value_of_u32(2)}}, 0);
+  r.submit_crash(r.shard_of(reg_a), process_id{0}, 10_us);
+
+  // Observe the merged result while reg_b's sub-batch is still in flight:
+  // the dropped half must not freeze the merge.
+  r.run_for(50_us);
+  {
+    const auto& mid = r.result(h);
+    EXPECT_TRUE(mid.dropped);
+    EXPECT_FALSE(mid.completed);
+  }
+  ASSERT_TRUE(r.run_until_idle());
+  const auto& res = r.result(h);
+  EXPECT_TRUE(res.dropped);
+  EXPECT_FALSE(res.completed);  // one half never ran
+  ASSERT_EQ(res.batch_result.size(), 2u);
+  // reg_b's completed half must be visible despite the earlier peek.
+  EXPECT_EQ(res.batch_result[1].reg, reg_b);
+  EXPECT_EQ(res.batch_result[1].val, value_of_u32(2));
+  EXPECT_GT(res.completed_at, 0);
+}
+
+// ---------- Merged multi-shard histories under faults ----------
+
+TEST(ShardRouter, AtomicPerKeyWithConcurrentCrashesInTwoShards) {
+  shard_router r(router_cfg(3, /*n=*/3, /*seed=*/7));
+
+  // A keyed workload spread over every shard.
+  sim::kv_workload_config wc;
+  wc.n = 3;
+  wc.key_count = 48;
+  wc.ops = 300;
+  wc.read_fraction = 0.5;
+  wc.seed = 7;
+  const auto workload = sim::make_kv_workload(wc);
+  std::vector<shard_router::op_handle> handles;
+  for (const auto& op : workload) {
+    if (op.is_read) {
+      handles.push_back(r.submit_read(op.p, op.entries[0].reg, op.at));
+    } else {
+      handles.push_back(
+          r.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at));
+    }
+  }
+
+  // Concurrent faults in two shards at once (a majority stays up in each):
+  // shard 0 loses process 1, shard 1 loses process 2, overlapping windows.
+  r.submit_crash(0, process_id{1}, 2_ms);
+  r.submit_recover(0, process_id{1}, 9_ms);
+  r.submit_crash(1, process_id{2}, 3_ms);
+  r.submit_recover(1, process_id{2}, 8_ms);
+
+  ASSERT_TRUE(r.run_until_idle(200'000'000));
+
+  std::uint64_t completed = 0;
+  for (const auto h : handles) completed += r.result(h).completed ? 1 : 0;
+  EXPECT_GT(completed, workload.size() / 2);
+
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  EXPECT_GT(verdict.keys_checked, 1u);
+
+  const auto tags = history::check_tag_order_per_key(r.tagged_operations());
+  EXPECT_TRUE(tags.ok) << tags.explanation;
+}
+
+TEST(ShardRouter, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    shard_router r(router_cfg(2, 3, seed));
+    sim::kv_workload_config wc;
+    wc.n = 3;
+    wc.key_count = 16;
+    wc.ops = 120;
+    wc.seed = seed;
+    for (const auto& op : sim::make_kv_workload(wc)) {
+      if (op.is_read) {
+        r.submit_read(op.p, op.entries[0].reg, op.at);
+      } else {
+        r.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at);
+      }
+    }
+    EXPECT_TRUE(r.run_until_idle());
+    return r.events();
+  };
+  const auto a = run(21);
+  const auto b = run(21);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].p, b[i].p);
+    EXPECT_EQ(a[i].reg, b[i].reg);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+// ---------- Shard-aware workload generation ----------
+
+TEST(KvWorkload, ShardLocalBatchesNeverSpanShards) {
+  const hash_ring ring(4, 64);
+  sim::kv_workload_config wc;
+  wc.n = 3;
+  wc.key_count = 256;
+  wc.batch_size = 8;
+  wc.ops = 200;
+  wc.shard_map = [&ring](register_id reg) { return ring.shard_of(reg); };
+  wc.shard_local_batches = true;
+  const auto ops = sim::make_kv_workload(wc);
+  ASSERT_EQ(ops.size(), 200u);
+  for (const auto& op : ops) {
+    ASSERT_FALSE(op.entries.empty());
+    const std::uint32_t home = ring.shard_of(op.entries[0].reg);
+    for (const auto& e : op.entries) {
+      EXPECT_EQ(ring.shard_of(e.reg), home) << "batch spans shards";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remus::core

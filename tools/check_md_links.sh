@@ -1,0 +1,24 @@
+#!/bin/sh
+# Lints relative markdown links: every [text](target) that is not an
+# absolute URL or a pure #anchor must name an existing file, resolved
+# relative to the markdown file's directory.
+#
+# Usage: check_md_links.sh FILE.md [FILE.md ...]
+set -u
+
+fail=0
+for f in "$@"; do
+  dir=$(dirname "$f")
+  for t in $(grep -o ']([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//'); do
+    case "$t" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    target=${t%%#*}  # strip in-file anchors
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link in $f: ($t)" >&2
+      fail=1
+    fi
+  done
+done
+exit $fail
