@@ -41,6 +41,12 @@ struct kv_case {
   std::uint32_t keys;
   double theta;
   std::uint32_t batch;
+  /// Lossy-link pair (batch-aware retransmission measurement): drop
+  /// probability and whether trimmed batch repeats are enabled.
+  double drop = 0.0;
+  bool trim_retransmit = true;
+  std::uint32_t value_bytes = 8;
+  std::uint32_t n = 3;
 };
 
 struct kv_result {
@@ -49,13 +55,17 @@ struct kv_result {
   std::uint64_t events = 0;
   double keyed_ops_per_sec = 0;
   double events_per_sec = 0;
+  std::uint64_t net_bytes = 0;            // total message bytes on the wire
   bool verified = false;
   bool atomic = true;
   std::size_t keys_checked = 0;
 };
 
 kv_result run_case(const kv_case& kc, std::uint32_t ops, std::uint64_t seed) {
-  auto cfg = paper_testbed(proto::persistent_policy(), 3, seed);
+  auto cfg = paper_testbed(proto::persistent_policy(), kc.n, seed);
+  cfg.net.drop_probability = kc.drop;
+  cfg.policy.trim_batch_retransmit = kc.trim_retransmit;
+  if (kc.drop > 0.0) cfg.policy.retransmit_delay = 3_ms;  // repeats matter
   core::cluster c(cfg);
 
   sim::kv_workload_config wc;
@@ -65,6 +75,7 @@ kv_result run_case(const kv_case& kc, std::uint32_t ops, std::uint64_t seed) {
   wc.read_fraction = 0.5;
   wc.batch_size = kc.batch;
   wc.ops = ops;
+  wc.value_bytes = kc.value_bytes;
   wc.seed = seed;
   const auto workload = sim::make_kv_workload(wc);
 
@@ -105,6 +116,7 @@ kv_result run_case(const kv_case& kc, std::uint32_t ops, std::uint64_t seed) {
       r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.completed_keyed_ops) / r.wall_ms : 0;
   r.events_per_sec =
       r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.events) / r.wall_ms : 0;
+  r.net_bytes = c.network().bytes_sent();
 
   // Verify per-key atomicity when the history is small enough for the
   // polynomial checker to be cheap (always true in smoke mode).
@@ -135,38 +147,61 @@ int main(int argc, char** argv) {
       {"k1024_zipf_b1", 1024, 0.99, 1},
       {"k64_uniform_b8", 64, 0.0, 8},      // batched multi-key traffic
       {"k1024_zipf_b8", 1024, 0.99, 8},
+      // Batch-aware retransmission pair: identical contended batched
+      // workload (256-byte values, 10% loss, n=5), full-batch repeats vs trimmed
+      // repeats. The JSON reports the message-bytes delta between the two.
+      {"k64_b8_lossy_full", 64, 0.0, 8, /*drop=*/0.10, /*trim=*/false, 256, 5},
+      {"k64_b8_lossy_trim", 64, 0.0, 8, /*drop=*/0.10, /*trim=*/true, 256, 5},
   };
 
   std::printf("== KV namespace throughput (%s, best of %d, n=3 persistent) ==\n",
               smoke ? "smoke" : "full", reps);
-  metrics::table t({"case", "keyed ops/s", "Mevents/s", "ops", "wall ms", "atomic"});
+  metrics::table t({"case", "keyed ops/s", "Mevents/s", "ops", "wall ms", "net MB",
+                    "atomic"});
 
   json_report rep("kv_throughput");
   rep.set("mode", smoke ? "smoke" : "full");
   rep.set("logical_ops_submitted", static_cast<double>(ops));
 
   bool all_atomic = true;
+  // Byte totals for the lossy retransmission pair, summed over all reps so
+  // the delta compares the same seed set on both sides.
+  std::uint64_t lossy_full_bytes = 0;
+  std::uint64_t lossy_trim_bytes = 0;
   for (const kv_case& kc : cases) {
     kv_result best;
+    std::uint64_t case_bytes = 0;
     for (int i = 0; i < reps; ++i) {
       const auto r = run_case(kc, ops, 1 + static_cast<std::uint64_t>(i));
       if (r.keyed_ops_per_sec > best.keyed_ops_per_sec || i == 0) best = r;
       if (r.verified && !r.atomic) all_atomic = false;
+      case_bytes += r.net_bytes;
     }
+    const std::string prefix = kc.name;
+    if (prefix == "k64_b8_lossy_full") lossy_full_bytes = case_bytes;
+    if (prefix == "k64_b8_lossy_trim") lossy_trim_bytes = case_bytes;
     t.add_row({kc.name, metrics::table::num(best.keyed_ops_per_sec, 0),
                metrics::table::num(best.events_per_sec / 1e6, 2),
                metrics::table::num(static_cast<double>(best.completed_keyed_ops), 0),
                metrics::table::num(best.wall_ms, 1),
+               metrics::table::num(static_cast<double>(best.net_bytes) / 1e6, 2),
                best.verified ? (best.atomic ? "yes" : "NO") : "-"});
-    const std::string prefix = kc.name;
     rep.set(prefix + "_keyed_ops_per_sec", best.keyed_ops_per_sec);
     rep.set(prefix + "_events_per_sec", best.events_per_sec);
     rep.set(prefix + "_completed_keyed_ops",
             static_cast<double>(best.completed_keyed_ops));
+    rep.set(prefix + "_net_bytes", static_cast<double>(best.net_bytes));
     if (best.verified) {
       rep.set(prefix + "_atomic_per_key", best.atomic ? 1.0 : 0.0);
       rep.set(prefix + "_keys_checked", static_cast<double>(best.keys_checked));
     }
+  }
+  if (lossy_full_bytes > 0) {
+    // Headline of the batch-aware retransmission optimization: fraction of
+    // message bytes saved by trimming repeats to the unsettled registers.
+    rep.set("lossy_trim_bytes_saved_frac",
+            1.0 - static_cast<double>(lossy_trim_bytes) /
+                      static_cast<double>(lossy_full_bytes));
   }
   std::printf("%s", t.render().c_str());
   std::printf("(keyed ops count per-register operations, so batch cases credit "

@@ -88,6 +88,15 @@ class flat_hash_map {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Visit every live (key, value) pair. Iteration order is unspecified
+  /// (table order); callers needing determinism must sort what they collect.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const entry& e : table_) {
+      if (e.used) fn(e.key, e.val);
+    }
+  }
+
   void clear() {
     for (auto& e : table_) e.used = false;
     size_ = 0;

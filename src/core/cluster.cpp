@@ -459,6 +459,111 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
   dispatch_next_op(p);
 }
 
+// ---- Register state transfer (shard rebalancing) -----------------------------
+
+cluster::register_snapshot cluster::export_register(register_id reg) const {
+  register_snapshot snap;
+  snap.reg = reg;
+  for (const auto& nd : nodes_) {
+    // Stable state survives crashes; read it regardless of up/down.
+    if (const auto rec = nd->store->retrieve(proto::written_key_of(reg))) {
+      const auto tv = proto::decode_tagged_value(*rec);
+      snap.has_state = true;
+      if (snap.written_ts < tv.ts) {
+        snap.written_ts = tv.ts;
+        snap.written_val = tv.val;
+      }
+    }
+    if (const auto rec = nd->store->retrieve(proto::writing_key_of(reg))) {
+      const auto tv = proto::decode_tagged_value(*rec);
+      snap.has_state = true;
+      if (snap.pending_ts < tv.ts) {
+        snap.pending_ts = tv.ts;
+        snap.pending_val = tv.val;
+      }
+    }
+    // Volatile state can run ahead of stable (an adoption whose log is still
+    // in flight) — and is all there is under policies that never log.
+    const tag vt = nd->core->replica_tag(reg);
+    if (initial_tag < vt) {
+      snap.has_state = true;
+      if (snap.written_ts < vt) {
+        snap.written_ts = vt;
+        snap.written_val = nd->core->replica_value(reg);
+      }
+    }
+  }
+  snap.has_pending = snap.written_ts < snap.pending_ts;
+  if (!snap.has_pending) {
+    snap.pending_ts = tag{};
+    snap.pending_val = value{};
+  }
+  return snap;
+}
+
+void cluster::import_register(const register_snapshot& snap) {
+  if (!snap.has_state) return;
+  // Finish a pending write on arrival (the migration plays the role of the
+  // source writer's recovery): the installed state is the freshest of the
+  // written and pre-logged tags.
+  const bool finish_pending = snap.has_pending && snap.written_ts < snap.pending_ts;
+  const tag& ts = finish_pending ? snap.pending_ts : snap.written_ts;
+  const value& val = finish_pending ? snap.pending_val : snap.written_val;
+  if (!(initial_tag < ts)) return;
+  const bool log_stable = !cfg_.policy.crash_stop;
+  bytes encoded;
+  if (log_stable) encoded = proto::encode(proto::tagged_value_record{ts, val});
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    node& nd = *nodes_[i];
+    if (log_stable) {
+      // Adopt-if-newer into the stable store: never regress a record.
+      bool newer = true;
+      if (const auto rec = nd.store->retrieve(proto::written_key_of(snap.reg))) {
+        newer = proto::decode_tagged_value(*rec).ts < ts;
+      }
+      if (newer) nd.store->store(proto::written_key_of(snap.reg), encoded);
+      if (snap.has_pending && i == 0) {
+        // Re-install the pre-log at one process so a future recovery replays
+        // the finish-write round, exactly as on the source group.
+        bool prelog_newer = true;
+        if (const auto rec = nd.store->retrieve(proto::writing_key_of(snap.reg))) {
+          prelog_newer = proto::decode_tagged_value(*rec).ts < snap.pending_ts;
+        }
+        if (prelog_newer) {
+          nd.store->store(proto::writing_key_of(snap.reg),
+                          proto::encode(proto::tagged_value_record{snap.pending_ts,
+                                                                  snap.pending_val}));
+        }
+      }
+    }
+    // Crashed cores skip the volatile install: their recovery restores it
+    // from the records written above.
+    if (nd.up && nd.core->is_up()) nd.core->adopt_if_newer(snap.reg, ts, val);
+  }
+}
+
+void cluster::evict_register(register_id reg) {
+  for (const auto& nd : nodes_) {
+    nd->store->erase(proto::writing_key_of(reg));
+    nd->store->erase(proto::written_key_of(reg));
+    if (nd->up && nd->core->is_up()) nd->core->evict(reg);
+  }
+}
+
+void cluster::for_each_register_with_state(
+    const std::function<void(register_id)>& fn) const {
+  std::vector<register_id> regs;
+  for (const auto& nd : nodes_) {
+    const auto collect = [&regs](register_id reg, const bytes&) { regs.push_back(reg); };
+    nd->store->for_each(storage::record_area::written, collect);
+    nd->store->for_each(storage::record_area::writing, collect);
+    nd->core->for_each_register([&regs](register_id reg) { regs.push_back(reg); });
+  }
+  std::sort(regs.begin(), regs.end());
+  regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+  for (const register_id reg : regs) fn(reg);
+}
+
 void cluster::do_crash(process_id p) {
   node& nd = nd_of(p);
   if (!nd.up) return;
@@ -469,6 +574,12 @@ void cluster::do_crash(process_id p) {
   nd.listener_ctx.busy_until = 0;
   nd.disk.reset(now());
   recorder_.crash(p, now());
+  if (nd.active_op) {
+    // Invoked but unfinished: the op can never complete (recovery does not
+    // resume client operations). The history keeps the unmatched invoke —
+    // the checkers' crash-recovery criteria allow either effect outcome.
+    results_[*nd.active_op].cut_short = true;
+  }
   nd.active_op.reset();
   for (const pending_invocation& inv : nd.op_queue) {
     results_[inv.handle].dropped = true;  // never invoked; client vanished

@@ -106,7 +106,8 @@ class cluster final : private sim::sim_executor {
   struct op_result {
     bool submitted = false;
     bool completed = false;
-    bool dropped = false;  // queued behind a crash, never invoked
+    bool dropped = false;    // queued behind a crash, never invoked
+    bool cut_short = false;  // invoked, then the process crashed mid-flight
     bool is_read = false;
     bool is_batch = false;
     process_id p;
@@ -147,6 +148,58 @@ class cluster final : private sim::sim_executor {
   [[nodiscard]] std::uint64_t durable_stores(process_id p) const;
   /// Stores performed by recovery procedures (not attributed to any op).
   [[nodiscard]] std::uint64_t recovery_stores() const { return recovery_stores_; }
+  /// Terminal state of an op: it completed, or it can never complete (queued
+  /// op dropped behind a crash, or invoked op cut short by one). The shard
+  /// router's migration waits on this before handing a key's state off.
+  [[nodiscard]] bool op_terminal(op_handle h) const {
+    const op_result& r = result(h);
+    return r.completed || r.dropped || r.cut_short;
+  }
+
+  // ---- Register state transfer (shard rebalancing) ----
+  //
+  // The shard router moves a register between quorum groups by snapshotting
+  // its state here and installing it there — an out-of-band transfer through
+  // stable storage, not a protocol round (the router guarantees no operation
+  // on the register is in flight on this cluster while it runs; see
+  // shard_router.h for the window discipline that makes that sound).
+
+  struct register_snapshot {
+    register_id reg = default_register;
+    /// Some process held state for the register (stable or volatile).
+    bool has_state = false;
+    /// Freshest (tag, value) any process holds — the max over every stable
+    /// (written) record and every volatile replica slot. At least as fresh
+    /// as the latest completed write (which is durable at a majority).
+    tag written_ts;
+    value written_val;
+    /// Freshest pre-logged-but-unfinished write, when strictly newer than
+    /// written_ts: a (writing) record whose round 2 never completed. The
+    /// import finishes it, exactly like the source's own recovery would.
+    bool has_pending = false;
+    tag pending_ts;
+    value pending_val;
+  };
+
+  /// Snapshot `reg`'s state across every process (up or crashed — stable
+  /// storage survives crashes by definition). Read-only.
+  [[nodiscard]] register_snapshot export_register(register_id reg) const;
+  /// Install `snap` durably at EVERY process: (written) records adopt-if-
+  /// newer in each stable store, live cores adopt volatile state (crashed
+  /// ones restore it from the store on recovery). All n copies >= a
+  /// majority, so an import is the two-phase read discipline's write-back
+  /// round performed on the destination group. A pending write is finished
+  /// (adopted as written) and its pre-log re-installed, mirroring Fig. 4's
+  /// recovery. Idempotent; tags only advance.
+  void import_register(const register_snapshot& snap);
+  /// Drop `reg`'s state everywhere: volatile slots on live cores and the
+  /// (writing)/(written) records in every stable store. Called on the
+  /// *source* group once the destination durably imported, so a later
+  /// recovery here cannot resurrect a register this group stopped owning.
+  void evict_register(register_id reg);
+  /// Enumerate every register some process holds state for (stable records
+  /// or volatile slots), deduplicated, ascending. Migration worklists.
+  void for_each_register_with_state(const std::function<void(register_id)>& fn) const;
 
  private:
   struct context {

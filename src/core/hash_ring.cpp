@@ -11,35 +11,150 @@ namespace remus::core {
 // constants, so ring placement never depends on a run's config or seed.
 std::uint64_t hash_ring::mix(std::uint64_t x) noexcept { return mix_u64(x); }
 
-hash_ring::hash_ring(std::uint32_t shard_count, std::uint32_t vnodes)
-    : shard_count_(shard_count), vnodes_(vnodes) {
-  if (shard_count == 0) throw driver_error("hash_ring: shard_count must be >= 1");
+namespace {
+
+std::vector<std::uint32_t> iota_ids(std::uint32_t shard_count) {
+  std::vector<std::uint32_t> ids(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) ids[s] = s;
+  return ids;
+}
+
+}  // namespace
+
+hash_ring::hash_ring(std::uint32_t shard_count, std::uint32_t vnodes, std::uint64_t epoch)
+    : hash_ring(iota_ids(shard_count), vnodes, epoch) {}
+
+hash_ring::hash_ring(std::vector<std::uint32_t> shard_ids, std::uint32_t vnodes,
+                     std::uint64_t epoch)
+    : shard_ids_(std::move(shard_ids)), vnodes_(vnodes), epoch_(epoch) {
+  if (shard_ids_.empty()) throw driver_error("hash_ring: shard set must be non-empty");
   if (vnodes == 0) throw driver_error("hash_ring: vnodes must be >= 1");
-  ring_.reserve(static_cast<std::size_t>(shard_count) * vnodes);
-  for (std::uint32_t s = 0; s < shard_count; ++s) {
+  std::sort(shard_ids_.begin(), shard_ids_.end());
+  if (std::adjacent_find(shard_ids_.begin(), shard_ids_.end()) != shard_ids_.end()) {
+    throw driver_error("hash_ring: duplicate shard id");
+  }
+  ring_.reserve(shard_ids_.size() * vnodes);
+  for (const std::uint32_t s : shard_ids_) {
     for (std::uint32_t v = 0; v < vnodes; ++v) {
       // Distinct-stream point placement: the replica index lives in the high
-      // word so shard s's points are unrelated to shard s+1's.
+      // word so shard s's points are unrelated to shard s+1's — and a
+      // shard's points depend only on its own id, which is what makes grow
+      // and shrink move only the appearing/disappearing shard's keys.
       const std::uint64_t key =
           (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint64_t>(s);
       ring_.push_back({mix(key), s});
     }
   }
-  // Position ties (astronomically unlikely) break by shard index so the ring
-  // order — and therefore every placement — is deterministic.
+  // Position ties (two virtual nodes hashing to the same 64-bit point —
+  // astronomically unlikely but handled explicitly) break by shard index,
+  // so the ring order — and therefore every placement — is deterministic,
+  // and the lower-numbered shard owns the collided position under both the
+  // pre- and post-reconfiguration ring whenever both contain it.
   std::sort(ring_.begin(), ring_.end(), [](const point& a, const point& b) {
     if (a.pos != b.pos) return a.pos < b.pos;
     return a.shard < b.shard;
   });
 }
 
-std::uint32_t hash_ring::shard_of(register_id reg) const noexcept {
-  const std::uint64_t h = mix(static_cast<std::uint64_t>(reg));
-  // First point clockwise from h (wrapping to the first point past 0).
+hash_ring hash_ring::grow(std::uint32_t new_shard) const {
+  if (has_shard(new_shard)) throw driver_error("hash_ring: grow() of an existing shard");
+  std::vector<std::uint32_t> ids = shard_ids_;
+  ids.push_back(new_shard);
+  return hash_ring(std::move(ids), vnodes_, epoch_ + 1);
+}
+
+hash_ring hash_ring::shrink(std::uint32_t removed) const {
+  if (!has_shard(removed)) throw driver_error("hash_ring: shrink() of an absent shard");
+  if (shard_ids_.size() == 1) {
+    throw driver_error("hash_ring: cannot shrink the last shard away");
+  }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shard_ids_.size() - 1);
+  for (const std::uint32_t s : shard_ids_) {
+    if (s != removed) ids.push_back(s);
+  }
+  return hash_ring(std::move(ids), vnodes_, epoch_ + 1);
+}
+
+bool hash_ring::has_shard(std::uint32_t shard) const noexcept {
+  return std::binary_search(shard_ids_.begin(), shard_ids_.end(), shard);
+}
+
+std::uint32_t hash_ring::owner_of_position(std::uint64_t pos) const noexcept {
+  // First point clockwise from pos (wrapping to the first point past 0).
   const auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), h,
-      [](const point& p, std::uint64_t pos) { return p.pos < pos; });
+      ring_.begin(), ring_.end(), pos,
+      [](const point& p, std::uint64_t position) { return p.pos < position; });
   return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+std::uint32_t hash_ring::shard_of(register_id reg) const noexcept {
+  return owner_of_position(mix(static_cast<std::uint64_t>(reg)));
+}
+
+// ---- Delta -------------------------------------------------------------------
+
+hash_ring::delta hash_ring::diff(const hash_ring& before, const hash_ring& after) {
+  // Boundary positions: the union of both rings' points. Ownership under
+  // either ring is constant on each half-open arc (b_{i-1}, b_i] because no
+  // point of either ring lies strictly inside it; the owner over the arc is
+  // the owner of its upper boundary.
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(before.points() + after.points());
+  for (const point& p : before.ring_) bounds.push_back(p.pos);
+  for (const point& p : after.ring_) bounds.push_back(p.pos);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  delta d;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::uint64_t hi = bounds[i];
+    const std::uint32_t was = before.owner_of_position(hi);
+    const std::uint32_t now = after.owner_of_position(hi);
+    if (was == now) continue;
+    // The arc ending at bounds[0] wraps: it runs from the last boundary,
+    // through 2^64 - 1 and 0, up to bounds[0] (lo > hi marks it). When every
+    // arc changes owner the same way, coalescing (or a single-boundary ring)
+    // degenerates to lo == hi — which segment_of reads as the full circle,
+    // the only correct meaning, since empty segments are never emitted.
+    const std::uint64_t lo = i == 0 ? bounds.back() : bounds[i - 1];
+    if (!d.segments.empty() && d.segments.back().hi == lo &&
+        d.segments.back().from_shard == was && d.segments.back().to_shard == now &&
+        i != 0) {
+      d.segments.back().hi = hi;  // coalesce adjacent arcs with the same move
+    } else {
+      d.segments.push_back({lo, hi, was, now});
+    }
+  }
+  return d;
+}
+
+const hash_ring::delta::segment* hash_ring::delta::segment_of(
+    register_id reg) const noexcept {
+  if (segments.empty()) return nullptr;
+  const std::uint64_t h = mix(static_cast<std::uint64_t>(reg));
+  // Segments are sorted by hi; find the first segment with hi >= h and check
+  // containment. The wrapping segment (lo > hi, always first if present)
+  // contains h iff h <= hi or h > lo. lo == hi is the full circle — every
+  // boundary arc changed owner (e.g. the only shard was replaced), which is
+  // the one shape a half-open (lo, hi] interval cannot express otherwise;
+  // genuinely empty segments are never constructed (see diff()).
+  const auto contains = [h](const segment& s) {
+    if (s.lo == s.hi) return true;  // full circle
+    return s.lo > s.hi ? (h <= s.hi || h > s.lo) : (h > s.lo && h <= s.hi);
+  };
+  const auto it = std::lower_bound(
+      segments.begin(), segments.end(), h,
+      [](const segment& s, std::uint64_t pos) { return s.hi < pos; });
+  if (it != segments.end() && contains(*it)) return &*it;
+  // h may still fall in the wrapping (or full-circle) segment's upper range.
+  const segment& first = segments.front();
+  if ((first.lo > first.hi || first.lo == first.hi) && h > first.lo) return &first;
+  return nullptr;
+}
+
+bool hash_ring::delta::moved(register_id reg) const noexcept {
+  return segment_of(reg) != nullptr;
 }
 
 }  // namespace remus::core

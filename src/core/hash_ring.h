@@ -6,7 +6,7 @@
 //   * Each shard owns `vnodes` points ("virtual nodes") on a 64-bit ring,
 //     placed by hashing (shard, replica). A register hashes to a ring
 //     position and is owned by the first shard point clockwise from it.
-//   * Placement is a pure function of (shard_count, vnodes) and the fixed
+//   * Placement is a pure function of (shard set, vnodes) and the fixed
 //     mixing constants below — deliberately independent of any simulation
 //     seed, so the same key lands on the same shard across runs, machines,
 //     and fault schedules (determinism_test relies on this).
@@ -14,10 +14,14 @@
 //     balance (each shard owns ~1/S of the key space, concentration
 //     improving with vnodes) and stability (growing S -> S+1 moves only the
 //     keys whose successor point now belongs to the new shard, ~1/(S+1) of
-//     the namespace; shard_router_test pins this bound).
+//     the namespace; removing a shard moves only *its* keys, spread over the
+//     survivors; shard_router_test pins both bounds).
 //
-// The ring is immutable after construction; rebalancing builds a new ring
-// and migrates the moved keys (a future PR — see docs/ARCHITECTURE.md).
+// Each ring instance is immutable, but rings are *versioned*: an epoch
+// stamps every snapshot, grow()/shrink() derive the successor topology at
+// epoch + 1, and diff() enumerates exactly the ring segments whose owner
+// changed between two snapshots — the moved-key predicate the router's
+// online migration window is built on (shard_router.h).
 #pragma once
 
 #include <cstdint>
@@ -29,18 +33,70 @@ namespace remus::core {
 
 class hash_ring final {
  public:
-  /// Builds the ring for `shard_count` shards (>= 1) with `vnodes` points
-  /// per shard (>= 1; 64 balances lookup cost against spread).
-  explicit hash_ring(std::uint32_t shard_count, std::uint32_t vnodes = 64);
+  /// Builds the epoch-`epoch` ring for shards {0, .., shard_count-1} with
+  /// `vnodes` points per shard (>= 1; 64 balances lookup cost vs spread).
+  explicit hash_ring(std::uint32_t shard_count, std::uint32_t vnodes = 64,
+                     std::uint64_t epoch = 0);
+  /// Builds the ring for an explicit shard-id set (non-empty, no
+  /// duplicates). A shard's points depend only on its own id, so the ids
+  /// surviving a removal keep exactly the placements they had — that is
+  /// what makes shrink move only the removed shard's keys.
+  hash_ring(std::vector<std::uint32_t> shard_ids, std::uint32_t vnodes,
+            std::uint64_t epoch);
+
+  /// The successor topology with shard id `new_shard` added, at epoch + 1.
+  [[nodiscard]] hash_ring grow(std::uint32_t new_shard) const;
+  /// The successor topology with shard id `removed` taken out, at epoch + 1.
+  /// The removed shard's keys redistribute over the remaining shards only
+  /// (every other key keeps its owner); the ring must keep >= 1 shard.
+  [[nodiscard]] hash_ring shrink(std::uint32_t removed) const;
 
   /// Owning shard of `reg`: the first ring point clockwise from hash(reg).
-  /// O(log(shard_count * vnodes)), allocation-free.
+  /// O(log(shards * vnodes)), allocation-free.
   [[nodiscard]] std::uint32_t shard_of(register_id reg) const noexcept;
+  /// Owner of raw ring position `pos` (diff plumbing and diagnostics).
+  [[nodiscard]] std::uint32_t owner_of_position(std::uint64_t pos) const noexcept;
 
-  [[nodiscard]] std::uint32_t shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shard_ids_.size());
+  }
+  /// The shard ids on this ring, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& shard_ids() const noexcept {
+    return shard_ids_;
+  }
+  [[nodiscard]] bool has_shard(std::uint32_t shard) const noexcept;
   [[nodiscard]] std::uint32_t vnodes() const noexcept { return vnodes_; }
+  /// Version stamp of this snapshot (0 for a freshly built topology).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   /// Ring points (diagnostics / balance tests).
   [[nodiscard]] std::size_t points() const noexcept { return ring_.size(); }
+
+  /// The ownership delta between two ring snapshots: the circle decomposes
+  /// into half-open arcs (lo, hi] bounded by the union of both rings'
+  /// points, and the delta keeps exactly the arcs whose owner differs. A key
+  /// moved iff its hash falls in one of them — an O(log segments) predicate
+  /// that never consults the rings again, and the router's source-of-truth
+  /// for which keys a reconfiguration migrates.
+  struct delta {
+    struct segment {
+      std::uint64_t lo = 0;  // exclusive (except the wrapping segment)
+      std::uint64_t hi = 0;  // inclusive
+      std::uint32_t from_shard = 0;
+      std::uint32_t to_shard = 0;
+    };
+    /// Changed arcs, sorted by hi; at most one wraps (lo > hi).
+    std::vector<segment> segments;
+
+    [[nodiscard]] bool moved(register_id reg) const noexcept;
+    /// The segment covering `reg`'s hash (nullptr if the key did not move).
+    [[nodiscard]] const segment* segment_of(register_id reg) const noexcept;
+    [[nodiscard]] bool empty() const noexcept { return segments.empty(); }
+  };
+
+  /// Enumerates the ownership changes from `before` to `after`. The rings
+  /// may have different shard sets and epochs; identical rings produce an
+  /// empty delta.
+  [[nodiscard]] static delta diff(const hash_ring& before, const hash_ring& after);
 
   /// The fixed 64-bit key hash the ring positions registers by (exposed so
   /// workload generators can pre-bucket keys without a ring instance).
@@ -52,8 +108,9 @@ class hash_ring final {
     std::uint32_t shard = 0;   // owner
   };
 
-  std::uint32_t shard_count_;
+  std::vector<std::uint32_t> shard_ids_;  // ascending
   std::uint32_t vnodes_;
+  std::uint64_t epoch_;
   std::vector<point> ring_;  // sorted by (pos, shard)
 };
 

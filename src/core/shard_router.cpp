@@ -19,12 +19,16 @@ constexpr time_ns lockstep_window = 100 * 1000;  // 100 us
 }  // namespace
 
 shard_router::shard_router(shard_router_config cfg)
-    : cfg_(std::move(cfg)), ring_(cfg_.shards, cfg_.vnodes) {
+    : cfg_(std::move(cfg)), ring_(cfg_.shards, cfg_.vnodes, /*epoch=*/0) {
   // (shards == 0 already rejected by ring_'s constructor.)
+  if (cfg_.drain_keys_per_pump == 0) {
+    throw driver_error("shard_router: drain_keys_per_pump must be >= 1");
+  }
   shards_.reserve(cfg_.shards);
   split_ops_.resize(cfg_.shards);
   split_regs_.resize(cfg_.shards);
   split_pos_.resize(cfg_.shards);
+  wb_regs_scratch_.resize(cfg_.shards);
   for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
     cluster_config shard_cfg = cfg_.base;
     shard_cfg.seed = cfg_.base.seed + s * cfg_.seed_stride;
@@ -48,30 +52,298 @@ void shard_router::check_local(process_id p) const {
   }
 }
 
+// ---- Reconfiguration ---------------------------------------------------------
+
+std::uint32_t shard_router::begin_add_shard() {
+  if (migrating_) {
+    throw driver_error("shard_router: a migration window is already open");
+  }
+  if (cfg_.base.policy.crash_stop) {
+    // Handoff transfers a key's state through stable storage, which the
+    // crash-stop model does not have: a completed write whose adopters all
+    // crash-stop leaves nothing for export_register to find, so migrating
+    // would convert the old shard's (legal) unavailability into a rollback
+    // served by the new shard. Reconfiguration is a crash-recovery feature.
+    throw driver_error(
+        "shard_router: live rebalancing requires a crash-recovery policy "
+        "(stable storage carries the migrated state)");
+  }
+  const std::uint32_t s = shard_count();
+
+  // Spin up shard S with the same seed formula construction uses, so a
+  // grown router is shard-for-shard identical to one built at S+1.
+  cluster_config shard_cfg = cfg_.base;
+  shard_cfg.seed = cfg_.base.seed + s * cfg_.seed_stride;
+  shards_.push_back(std::make_unique<cluster>(std::move(shard_cfg)));
+  shards_.back()->run_for(now());  // align the newborn's clock to the fleet
+  split_ops_.resize(s + 1);
+  split_regs_.resize(s + 1);
+  split_pos_.resize(s + 1);
+  wb_regs_scratch_.resize(s + 1);
+
+  // Install the epoch+1 topology; the retiring ring answers for moved keys
+  // until their handoff.
+  prev_ring_ = std::make_unique<hash_ring>(ring_);
+  ring_ = prev_ring_->grow(s);
+  delta_ = hash_ring::diff(*prev_ring_, ring_);
+  migrating_ = true;
+  cfg_.shards = s + 1;
+  migrated_.clear();
+  migrated_total_ = 0;
+
+  // Drain worklist: every moved key holding state on its old shard. Keys
+  // the workload writes migrate themselves; the pump moves the rest.
+  drain_worklist_.clear();
+  for (std::uint32_t sh = 0; sh < s; ++sh) {
+    shards_[sh]->for_each_register_with_state([&](register_id reg) {
+      if (delta_.moved(reg) && prev_ring_->shard_of(reg) == sh) {
+        drain_worklist_.push_back(reg);
+      }
+    });
+  }
+  std::sort(drain_worklist_.begin(), drain_worklist_.end());
+  drain_worklist_.erase(std::unique(drain_worklist_.begin(), drain_worklist_.end()),
+                        drain_worklist_.end());
+
+  // Operations already routed to an old shard and still live block their
+  // keys' handoff until they settle (the quiet-point rule). The watermark
+  // skips the all-terminal prefix so repeated window opens on a long-lived
+  // router do not re-walk history that cannot contain live ops (completion
+  // is roughly in submission order, so the prefix advances steadily).
+  while (scan_from_ < ops_.size()) {
+    const routed_op& op = ops_[scan_from_];
+    bool terminal = true;
+    for (const sub_op& so : op.subs) {
+      if (!shards_[so.shard]->op_terminal(so.h)) terminal = false;
+    }
+    if (!terminal || op.writebacks_pending > 0) break;
+    ++scan_from_;
+  }
+  for (std::size_t i = scan_from_; i < ops_.size(); ++i) {
+    const routed_op& op = ops_[i];
+    for (const sub_op& so : op.subs) {
+      cluster& c = *shards_[so.shard];
+      if (c.op_terminal(so.h)) continue;
+      const cluster::op_result& res = c.result(so.h);
+      const auto consider = [&](register_id reg) {
+        if (!delta_.moved(reg) || prev_ring_->shard_of(reg) != so.shard) return;
+        track_old_op(reg, so.shard, so.h);
+        add_to_worklist(reg);
+      };
+      if (res.is_batch) {
+        for (const proto::write_op& a : res.batch_args) consider(a.reg);
+      } else {
+        consider(res.reg);
+      }
+    }
+  }
+  moved_total_ = drain_worklist_.size();
+  return s;
+}
+
+void shard_router::finish_add_shard() {
+  if (!migrating_) throw driver_error("shard_router: no migration window open");
+  if (!migration_drained()) {
+    throw driver_error(
+        "shard_router: migration window not drained — run the router until "
+        "migration_drained() before finish_add_shard()");
+  }
+  migrating_ = false;
+  prev_ring_.reset();
+  delta_ = hash_ring::delta{};
+  migrated_.clear();
+  old_inflight_.clear();
+}
+
+bool shard_router::old_shard_quiet(register_id reg) {
+  std::vector<sub_op>* live = old_inflight_.find(reg);
+  if (live == nullptr) return true;
+  for (const sub_op& so : *live) {
+    if (!shards_[so.shard]->op_terminal(so.h)) return false;
+  }
+  old_inflight_.erase(reg);
+  return true;
+}
+
+void shard_router::track_old_op(register_id reg, std::uint32_t shard,
+                                cluster::op_handle h) {
+  old_inflight_[reg].push_back({shard, h});
+}
+
+void shard_router::add_to_worklist(register_id reg) {
+  const auto it =
+      std::lower_bound(drain_worklist_.begin(), drain_worklist_.end(), reg);
+  if (it != drain_worklist_.end() && *it == reg) return;
+  drain_worklist_.insert(it, reg);
+  moved_total_ += 1;
+}
+
+void shard_router::handoff_key(register_id reg, migration_event::cause why,
+                               time_ns at) {
+  const std::uint32_t from = prev_ring_->shard_of(reg);
+  const std::uint32_t to = ring_.shard_of(reg);
+  // A write-handoff can reach a moved key the worklist never enumerated (no
+  // state, no in-flight ops at window open); count it so migrated_key_count
+  // stays a subset of moved_key_count.
+  if (!std::binary_search(drain_worklist_.begin(), drain_worklist_.end(), reg)) {
+    moved_total_ += 1;
+  }
+  // Snapshot the old group's freshest state (written + any pending pre-log),
+  // install it durably at every destination process, then strip it from the
+  // source so no future source recovery resurrects a key it stopped owning.
+  shards_[to]->import_register(shards_[from]->export_register(reg));
+  shards_[from]->evict_register(reg);
+  migrated_[reg] = true;
+  migrated_total_ += 1;
+  migration_log_.push_back({reg, from, to, at, why});
+}
+
+std::uint32_t shard_router::route_write_key(register_id reg) {
+  if (!migrating_ || !delta_.moved(reg) || is_migrated(reg)) {
+    return ring_.shard_of(reg);
+  }
+  if (old_shard_quiet(reg)) {
+    // Writes-to-new: hand the key off at this quiet point, then let the
+    // write run on the destination — its sequence-number query sees the
+    // imported tag, so the new epoch's tags strictly dominate the old's.
+    handoff_key(reg, migration_event::cause::write_handoff, now());
+    return ring_.shard_of(reg);
+  }
+  // The old shard still has live operations on this key: route there too
+  // (late handoff — the drain migrates the key at its next quiet point).
+  // The write creates state on the old shard, so the key must be on the
+  // drain worklist even if it held nothing at window open.
+  add_to_worklist(reg);
+  return prev_ring_->shard_of(reg);
+}
+
+std::uint32_t shard_router::route_read_key(register_id reg, bool* moved_read) {
+  *moved_read = false;
+  if (!migrating_ || !delta_.moved(reg) || is_migrated(reg)) {
+    return ring_.shard_of(reg);
+  }
+  // Reads-from-old: the retiring shard stays authoritative until handoff.
+  *moved_read = true;
+  return prev_ring_->shard_of(reg);
+}
+
+void shard_router::register_writeback(std::size_t op_index) {
+  // The sub-ops were just pushed; attach one write-back per old-shard sub
+  // that touched moved keys (collected in wb_regs_scratch_ by the caller).
+  routed_op& op = ops_[op_index];
+  for (const sub_op& so : op.subs) {
+    std::vector<register_id>& regs = wb_regs_scratch_[so.shard];
+    if (regs.empty()) continue;
+    for (const register_id reg : regs) track_old_op(reg, so.shard, so.h);
+    op.writebacks_pending += 1;
+    writebacks_.push_back({so.shard, so.h, op_index, std::move(regs)});
+    wb_regs_scratch_[so.shard].clear();  // moved-from: restore a known state
+  }
+}
+
+void shard_router::pump_migration() {
+  if (!migrating_) return;
+
+  // 1. Read write-backs: once a window read's quorum round on the old shard
+  //    completes, anchor its per-key (tag, value) at the new shard before
+  //    the router-level operation reports completion.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < writebacks_.size(); ++i) {
+    pending_writeback& wb = writebacks_[i];
+    cluster& old_sh = *shards_[wb.old_shard];
+    if (!old_sh.op_terminal(wb.h)) {
+      if (kept != i) writebacks_[kept] = std::move(wb);
+      kept += 1;
+      continue;
+    }
+    const cluster::op_result& res = old_sh.result(wb.h);
+    if (res.completed) {
+      for (const register_id reg : wb.regs) {
+        if (is_migrated(reg)) continue;  // handed off meanwhile: already fresh
+        cluster::register_snapshot snap;
+        snap.reg = reg;
+        if (res.is_batch) {
+          for (const proto::batch_entry& e : res.batch_result) {
+            if (e.reg != reg) continue;
+            snap.has_state = initial_tag < e.ts;
+            snap.written_ts = e.ts;
+            snap.written_val = e.val;
+            break;
+          }
+        } else {
+          snap.has_state = initial_tag < res.applied;
+          snap.written_ts = res.applied;
+          snap.written_val = res.v;
+        }
+        if (!snap.has_state) continue;  // never-written key: nothing to anchor
+        const std::uint32_t to = ring_.shard_of(reg);
+        shards_[to]->import_register(snap);
+        migration_log_.push_back(
+            {reg, wb.old_shard, to, now(), migration_event::cause::read_writeback});
+      }
+    }
+    // Dropped / cut-short reads resolve with nothing to write back.
+    routed_op& op = ops_[wb.op_index];
+    if (op.writebacks_pending > 0) op.writebacks_pending -= 1;
+    if (op.writebacks_pending == 0) {
+      op.writeback_at = now();
+      op.merged_final = false;  // re-merge with the write-back accounted
+    }
+  }
+  writebacks_.resize(kept);
+
+  // 2. Background drain: hand off up to drain_keys_per_pump quiet keys per
+  //    scheduling round, ascending key order (deterministic schedule).
+  std::uint32_t budget = cfg_.drain_keys_per_pump;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < drain_worklist_.size(); ++i) {
+    const register_id reg = drain_worklist_[i];
+    if (is_migrated(reg)) continue;  // a write handed it off already
+    if (budget == 0 || !old_shard_quiet(reg)) {
+      drain_worklist_[keep++] = reg;
+      continue;
+    }
+    handoff_key(reg, migration_event::cause::drain, now());
+    budget -= 1;
+  }
+  drain_worklist_.resize(keep);
+}
+
 // ---- Workload scheduling ----------------------------------------------------
 
 shard_router::op_handle shard_router::submit_write(process_id p, register_id reg,
                                                    value v, time_ns at) {
   check_local(p);
-  const std::uint32_t s = shard_of(reg);
+  const std::uint32_t s = route_write_key(reg);
   routed_op op;
   op.is_read = false;
   op.p = p;
   op.subs.push_back({s, shards_[s]->submit_write(p, reg, std::move(v), at)});
+  // Still old-routed after routing = the late-handoff path: the live old op
+  // set grows by this write, and the drain waits for it.
+  const bool old_routed = migrating_ && delta_.moved(reg) && !is_migrated(reg);
   ops_.push_back(std::move(op));
+  if (old_routed) track_old_op(reg, s, ops_.back().subs[0].h);
   return ops_.size() - 1;
 }
 
 shard_router::op_handle shard_router::submit_read(process_id p, register_id reg,
                                                   time_ns at) {
   check_local(p);
-  const std::uint32_t s = shard_of(reg);
+  bool moved_read = false;
+  const std::uint32_t s = route_read_key(reg, &moved_read);
   routed_op op;
   op.is_read = true;
   op.p = p;
   op.subs.push_back({s, shards_[s]->submit_read(p, reg, at)});
   ops_.push_back(std::move(op));
-  return ops_.size() - 1;
+  const std::size_t idx = ops_.size() - 1;
+  if (moved_read) {
+    wb_regs_scratch_[s].clear();
+    wb_regs_scratch_[s].push_back(reg);
+    register_writeback(idx);
+  }
+  return idx;
 }
 
 shard_router::op_handle shard_router::submit_write_batch(
@@ -80,8 +352,15 @@ shard_router::op_handle shard_router::submit_write_batch(
   if (ops.empty()) throw driver_error("shard_router: empty write batch");
   for (auto& g : split_ops_) g.clear();
   for (auto& g : split_pos_) g.clear();
+  for (auto& g : wb_regs_scratch_) g.clear();
   for (std::uint32_t i = 0; i < ops.size(); ++i) {
-    const std::uint32_t s = shard_of(ops[i].reg);
+    const register_id reg = ops[i].reg;
+    const std::uint32_t s = route_write_key(reg);
+    // Moved keys that stayed old-routed (busy old shard) must pin their
+    // handoff open until this sub-batch settles.
+    if (migrating_ && delta_.moved(reg) && !is_migrated(reg)) {
+      wb_regs_scratch_[s].push_back(reg);
+    }
     split_ops_[s].push_back(std::move(ops[i]));
     split_pos_[s].push_back(i);
   }
@@ -96,6 +375,10 @@ shard_router::op_handle shard_router::submit_write_batch(
         {s, shards_[s]->submit_write_batch(p, std::move(split_ops_[s]), at)});
     op.original_pos.insert(op.original_pos.end(), split_pos_[s].begin(),
                            split_pos_[s].end());
+    for (const register_id reg : wb_regs_scratch_[s]) {
+      track_old_op(reg, s, op.subs.back().h);
+    }
+    wb_regs_scratch_[s].clear();
   }
   ops_.push_back(std::move(op));
   return ops_.size() - 1;
@@ -108,8 +391,11 @@ shard_router::op_handle shard_router::submit_read_batch(process_id p,
   if (regs.empty()) throw driver_error("shard_router: empty read batch");
   for (auto& g : split_regs_) g.clear();
   for (auto& g : split_pos_) g.clear();
+  for (auto& g : wb_regs_scratch_) g.clear();
   for (std::uint32_t i = 0; i < regs.size(); ++i) {
-    const std::uint32_t s = shard_of(regs[i]);
+    bool moved_read = false;
+    const std::uint32_t s = route_read_key(regs[i], &moved_read);
+    if (moved_read) wb_regs_scratch_[s].push_back(regs[i]);
     split_regs_[s].push_back(regs[i]);
     split_pos_[s].push_back(i);
   }
@@ -125,7 +411,9 @@ shard_router::op_handle shard_router::submit_read_batch(process_id p,
                            split_pos_[s].end());
   }
   ops_.push_back(std::move(op));
-  return ops_.size() - 1;
+  const std::size_t idx = ops_.size() - 1;
+  register_writeback(idx);  // no-op when no moved keys were old-routed
+  return idx;
 }
 
 void shard_router::submit_crash(std::uint32_t s, process_id p, time_ns at) {
@@ -151,18 +439,33 @@ bool shard_router::run_until_idle(std::uint64_t max_events) {
     // shard's behavior; the window only keeps the clocks aligned.
     time_ns next = no_time;
     for (const auto& s : shards_) next = std::min(next, s->next_event_time());
-    if (next == no_time) break;  // all queues drained
+    if (next == no_time) {
+      // Queues drained. With a window open the remaining worklist keys are
+      // all quiet now; keep pumping (still budgeted per round) until the
+      // drain converges or stalls (a stall is impossible by construction,
+      // but guards against an unforeseen live-lock).
+      if (migrating_ && !migration_drained()) {
+        const std::size_t before = drain_worklist_.size() + writebacks_.size();
+        pump_migration();
+        if (drain_worklist_.size() + writebacks_.size() < before) continue;
+      }
+      break;
+    }
     const time_ns target = next + lockstep_window;
     for (const auto& s : shards_) {
       if (target > s->now()) s->run_for(target - s->now());
     }
+    pump_migration();
     if (events_executed() - start > max_events) return false;
   }
   sync_clocks_to(now());
   return true;
 }
 
-void shard_router::run_for(time_ns d) { sync_clocks_to(now() + d); }
+void shard_router::run_for(time_ns d) {
+  sync_clocks_to(now() + d);
+  pump_migration();
+}
 
 void shard_router::sync_clocks_to(time_ns t) {
   for (const auto& s : shards_) {
@@ -172,17 +475,33 @@ void shard_router::sync_clocks_to(time_ns t) {
 
 value shard_router::read(process_id p, register_id reg) {
   check_local(p);
-  cluster& owner = owner_of(reg);
+  bool moved_read = false;
+  const std::uint32_t s = route_read_key(reg, &moved_read);
+  cluster& owner = *shards_[s];
   value v = owner.read(p, reg);
   sync_clocks_to(owner.now());
+  if (moved_read && !is_migrated(reg)) {
+    // Synchronous form of the window read's write-back: anchor the freshest
+    // old-shard state at the destination before returning the value.
+    const cluster::register_snapshot snap = owner.export_register(reg);
+    if (snap.has_state) {
+      const std::uint32_t to = ring_.shard_of(reg);
+      shards_[to]->import_register(snap);
+      migration_log_.push_back(
+          {reg, s, to, now(), migration_event::cause::read_writeback});
+    }
+  }
+  pump_migration();
   return v;
 }
 
 void shard_router::write(process_id p, register_id reg, value v) {
   check_local(p);
-  cluster& owner = owner_of(reg);
+  const std::uint32_t s = route_write_key(reg);
+  cluster& owner = *shards_[s];
   owner.write(p, reg, std::move(v));
   sync_clocks_to(owner.now());
+  pump_migration();
 }
 
 // ---- Results & introspection -------------------------------------------------
@@ -210,7 +529,7 @@ void shard_router::merge_result(const routed_op& op) const {
     if (sub.dropped) r.dropped = true;
     if (!sub.completed) {
       r.completed = false;
-      if (!sub.dropped) all_terminal = false;
+      if (!sub.dropped && !sub.cut_short) all_terminal = false;
     } else {
       r.invoked_at = std::min(r.invoked_at, sub.invoked_at);
       r.completed_at = std::max(r.completed_at, sub.completed_at);
@@ -227,6 +546,14 @@ void shard_router::merge_result(const routed_op& op) const {
       r.v = sub.v;
       r.applied = sub.applied;
     }
+  }
+  // A window read is complete only once its cross-shard write-back landed
+  // ("before returning" — the two-phase discipline across shards).
+  if (op.writebacks_pending > 0) {
+    r.completed = false;
+    all_terminal = false;
+  } else if (r.completed) {
+    r.completed_at = std::max(r.completed_at, op.writeback_at);
   }
   if (r.invoked_at == no_time) r.invoked_at = 0;
   op.merged = std::move(r);

@@ -1,5 +1,5 @@
 // shard_router: the composition layer above cluster — a sharded register
-// namespace served by S *independent* quorum groups.
+// namespace served by S *independent* quorum groups, reconfigurable online.
 //
 // The paper's emulation (and core::cluster) serves its whole namespace from
 // one majority cluster, so capacity is capped by a single quorum's
@@ -15,7 +15,7 @@
 // Independence is total: each shard has its own n processes, protocol cores,
 // stable-storage namespace, network/disk models, fault schedule, and event
 // queue. No message, log record, or timer ever crosses a shard. The router
-// contributes exactly three things:
+// contributes exactly four things:
 //
 //   * routing     — shard_of(reg) via the seed-independent hash ring;
 //   * scheduling  — run_until_idle()/run_for() advance all S event queues in
@@ -27,42 +27,96 @@
 //     completes when every sub-batch has, and reassembles per-key results in
 //     the caller's original key order. Histories and tagged operations merge
 //     with shard s's processes renumbered to s*n .. s*n+n-1 (global ids), so
-//     cross-shard process identities never collide.
+//     cross-shard process identities never collide;
+//   * reconfiguration — begin_add_shard()/finish_add_shard() grow the ring
+//     S -> S+1 *while serving*, migrating the ~1/(S+1) moved keys online.
+//
+// # The migration window (dual-ring discipline)
+//
+// begin_add_shard() spins up shard S, stamps a new ring snapshot at
+// epoch + 1, and computes hash_ring::diff(old, new) — the exact set of ring
+// arcs (hence keys) whose owner changed, always old-shard -> new-shard.
+// Until finish_add_shard(), a moved key is in one of two states:
+//
+//   un-migrated — the OLD shard stays authoritative. Reads route to it (and,
+//     once the quorum read completes, its freshest (tag, value) is written
+//     back durably onto the NEW shard via cluster::import_register — the
+//     paper's two-phase read discipline stretched across shards: return only
+//     what is anchored at a destination majority too, so a wholesale source
+//     loss cannot roll the register back past anything already served).
+//     Writes *hand the key off*: cluster::export_register snapshots the old
+//     group's state (freshest written tag/value plus any pre-logged
+//     unfinished write), import_register installs it durably at all n
+//     destination processes, the source's records are evicted, and only then
+//     is the write submitted to the new shard — whose sequence-number query
+//     now sees the imported tag, so post-migration tags strictly dominate
+//     pre-migration ones and per-key tag order survives the epoch change.
+//   migrated — the NEW shard is authoritative; everything routes there.
+//
+// Handoff only happens at a *quiet point*: if the old shard still has
+// in-flight operations on the key (tracked per key from the moment the
+// window opens), writes keep routing to the old shard and the key is left
+// for the drain. A background drain pump — driven off the same merged
+// event-queue loop, a few keys per lockstep round — migrates the remaining
+// moved keys (worklist built from the old shards' stable storage at window
+// open, ascending key order, deterministically rate-limited), so the window
+// closes even for keys the workload never writes. finish_add_shard()
+// requires the worklist drained and retires the old ring.
+//
+// Atomicity across the reconfiguration is compositional again, but with one
+// extra obligation the window discharges: for each moved key there is a
+// single instant (its handoff) before which every completed operation
+// executed on the old group and after which every one executes on the new
+// group, and the handoff transfers a tag at least as large as any completed
+// operation's. The merged two-epoch history therefore still passes
+// history::check_atomicity_per_key unchanged — that is the acceptance oracle
+// (shard_router_test, chaos tests, bench_rebalance all assert it).
 //
 // Typical use:
 //
 //   core::shard_router_config cfg;
-//   cfg.shards = 4;
+//   cfg.shards = 2;
 //   cfg.base.n = 3;
 //   core::shard_router r(cfg);
-//   r.write(process_id{0}, /*reg=*/7, value_of_u32(1));   // routed to 7's shard
-//   auto v = r.read(process_id{1}, 7);
+//   r.write(process_id{0}, /*reg=*/7, value_of_u32(1));
+//   r.begin_add_shard();              // epoch+1 ring, window opens
+//   r.write(process_id{0}, 7, value_of_u32(2));   // may hand 7 off
+//   r.run_until_idle();               // drain pump migrates the rest
+//   r.finish_add_shard();             // old ring retired
 //   auto verdict = history::check_persistent_atomicity_per_key(r.events());
 //
 // Determinism: a run is a pure function of (shard_router_config, submitted
-// workload). Key placement is additionally seed-independent (see hash_ring).
+// workload, reconfiguration calls) — the migration schedule included
+// (shard_router_test pins this). Key placement is additionally
+// seed-independent (see hash_ring).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/cluster.h"
 #include "core/hash_ring.h"
 
 namespace remus::core {
 
 struct shard_router_config {
-  /// Number of independent quorum groups (>= 1).
+  /// Number of independent quorum groups (>= 1) at construction.
   std::uint32_t shards = 1;
   /// Virtual nodes per shard on the placement ring (see hash_ring.h).
   std::uint32_t vnodes = 64;
   /// Template for every shard's cluster. Shard s runs `base` with
   /// seed = base.seed + s * seed_stride, so shards see independent random
   /// streams (jitter, epochs) while the whole router stays reproducible
-  /// from base.seed.
+  /// from base.seed. Shards added by begin_add_shard() follow the same
+  /// formula, so a grown router equals a bigger one shard-for-shard.
   cluster_config base;
   std::uint64_t seed_stride = 0x9e3779b97f4a7c15ULL;
+  /// Background-drain rate: moved keys handed off per scheduling round
+  /// while a migration window is open (>= 1). Lower stretches the window;
+  /// higher converges faster but bursts import work.
+  std::uint32_t drain_keys_per_pump = 4;
 };
 
 class shard_router final {
@@ -72,12 +126,20 @@ class shard_router final {
   explicit shard_router(shard_router_config cfg);
 
   // ---- Routing ----
+  /// Authoritative owner of `reg` *right now*: the target ring's owner,
+  /// except that during a migration window a moved-but-not-yet-handed-off
+  /// key still answers from its old shard.
   [[nodiscard]] std::uint32_t shard_of(register_id reg) const noexcept {
+    if (migrating_ && delta_.moved(reg) && !is_migrated(reg)) {
+      return prev_ring_->shard_of(reg);
+    }
     return ring_.shard_of(reg);
   }
   [[nodiscard]] std::uint32_t shard_count() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
   }
+  /// The target topology (epoch-stamped; during a window this is already
+  /// the *new* ring — see previous_ring()).
   [[nodiscard]] const hash_ring& ring() const noexcept { return ring_; }
   /// Direct access to one shard's cluster (faults, metrics, inspection).
   [[nodiscard]] cluster& shard(std::uint32_t s);
@@ -89,6 +151,46 @@ class shard_router final {
   /// used by events() and tagged_operations().
   [[nodiscard]] process_id global_process(std::uint32_t s, process_id local) const {
     return process_id{s * cfg_.base.n + local.index};
+  }
+
+  // ---- Reconfiguration (live rebalancing) ----
+  /// Opens a migration window growing the ring S -> S+1: spins up shard S
+  /// (same config template, seed formula above), installs the epoch+1 ring,
+  /// and starts routing under the dual-ring discipline described in the
+  /// file comment. Returns the new shard's index. Requires no window open
+  /// and a crash-recovery policy (handoff carries state through stable
+  /// storage, which the crash-stop model lacks).
+  std::uint32_t begin_add_shard();
+  /// Retires the old ring and closes the window. Requires the moved-key
+  /// worklist drained (run the router until migration_drained(); the drain
+  /// pump rides the normal scheduling loop).
+  void finish_add_shard();
+  /// A migration window is open.
+  [[nodiscard]] bool migration_active() const noexcept { return migrating_; }
+  /// Every moved key handed off and every read write-back applied — i.e.
+  /// finish_add_shard() would succeed.
+  [[nodiscard]] bool migration_drained() const noexcept {
+    return migrating_ && drain_worklist_.empty() && writebacks_.empty();
+  }
+  /// Keys enumerated for the background drain at window open (moved keys
+  /// holding state, plus moved keys with in-flight old-shard operations).
+  [[nodiscard]] std::size_t moved_key_count() const noexcept { return moved_total_; }
+  /// Keys handed off so far (by write, by drain — not read write-backs).
+  [[nodiscard]] std::size_t migrated_key_count() const noexcept { return migrated_total_; }
+
+  /// One entry per migration action, in execution order — the migration
+  /// schedule. Deterministic per (config, workload, reconfiguration calls);
+  /// the determinism pin compares it across runs.
+  struct migration_event {
+    enum class cause : std::uint8_t { write_handoff, drain, read_writeback };
+    register_id reg = default_register;
+    std::uint32_t from_shard = 0;
+    std::uint32_t to_shard = 0;
+    time_ns at = 0;
+    cause why = cause::drain;
+  };
+  [[nodiscard]] const std::vector<migration_event>& migration_log() const noexcept {
+    return migration_log_;
   }
 
   // ---- Workload scheduling (virtual times, >= now()) ----
@@ -113,7 +215,8 @@ class shard_router final {
 
   // ---- Execution ----
   /// Runs all shards until no events remain anywhere, advancing the S event
-  /// queues in merged virtual-time order. Returns false if `max_events`
+  /// queues in merged virtual-time order (and, during a migration window,
+  /// pumping the drain between rounds). Returns false if `max_events`
   /// (total across shards) elapsed first.
   bool run_until_idle(std::uint64_t max_events = 50'000'000);
   /// Runs every shard's events with timestamps <= now()+d, then advances all
@@ -123,7 +226,8 @@ class shard_router final {
   // ---- Synchronous convenience ----
   /// Submit now + run the owning shard until the op completes, then advance
   /// the other shards to the same instant (so sequential cross-shard calls
-  /// keep a meaningful global real-time order).
+  /// keep a meaningful global real-time order). During a window these follow
+  /// the same read-from-old/write-to-new discipline as the async surface.
   value read(process_id p, register_id reg);
   void write(process_id p, register_id reg, value v);
 
@@ -131,7 +235,7 @@ class shard_router final {
   /// Mirror of cluster::op_result, merged across the op's sub-batches.
   struct op_result {
     bool submitted = false;
-    bool completed = false;  // every sub-op completed
+    bool completed = false;  // every sub-op completed (incl. any write-back)
     bool dropped = false;    // some sub-op was dropped behind a crash
     bool is_read = false;
     bool is_batch = false;
@@ -142,7 +246,7 @@ class shard_router final {
     /// Batched ops: per-register results in the caller's original key order.
     std::vector<proto::batch_entry> batch_result;
     time_ns invoked_at = 0;   // min across sub-ops
-    time_ns completed_at = 0; // max across sub-ops
+    time_ns completed_at = 0; // max across sub-ops (and cross-shard write-backs)
   };
   [[nodiscard]] const op_result& result(op_handle h) const;
 
@@ -173,21 +277,76 @@ class shard_router final {
     /// Original position of each per-key result, in (sub, sub-batch-entry)
     /// flattening order — inverse of the split's grouping by shard.
     std::vector<std::uint32_t> original_pos;
+    /// Outstanding cross-shard read write-backs gating completion.
+    std::uint32_t writebacks_pending = 0;
+    time_ns writeback_at = 0;
     /// Lazily (re)built merged view; valid once every sub-op completed.
     mutable op_result merged;
     mutable bool merged_final = false;
   };
+  /// A window read routed to an old shard: once the quorum read completes,
+  /// its per-key (tag, value) results are imported into the new shard.
+  struct pending_writeback {
+    std::uint32_t old_shard = 0;
+    cluster::op_handle h = 0;
+    std::size_t op_index = 0;
+    std::vector<register_id> regs;  // the moved keys of this sub-op
+  };
+  struct reg_hash {
+    std::size_t operator()(register_id r) const noexcept {
+      return static_cast<std::size_t>(mix_u64(r));
+    }
+  };
 
   [[nodiscard]] cluster& owner_of(register_id reg) { return *shards_[shard_of(reg)]; }
   void check_local(process_id p) const;
+  [[nodiscard]] bool is_migrated(register_id reg) const noexcept {
+    return migrated_.find(reg) != nullptr;
+  }
+  /// Migration-aware routing for one key of a write (may hand the key off at
+  /// a quiet point) or a read (never migrates). Returns the shard to submit
+  /// to; for window reads on an old shard, *moved_read is set so the caller
+  /// registers the write-back.
+  std::uint32_t route_write_key(register_id reg);
+  std::uint32_t route_read_key(register_id reg, bool* moved_read);
+  /// True when the old shard has no live operation touching `reg`.
+  [[nodiscard]] bool old_shard_quiet(register_id reg);
+  /// Records a still-live old-shard op on moved key `reg` (blocks handoff).
+  void track_old_op(register_id reg, std::uint32_t shard, cluster::op_handle h);
+  void add_to_worklist(register_id reg);
+  /// Export-import-evict `reg` from its old to its new owner and flip its
+  /// routing. Requires a quiet old shard.
+  void handoff_key(register_id reg, migration_event::cause why, time_ns at);
+  /// Drain-pump one scheduling round: apply completed read write-backs and
+  /// hand off up to cfg_.drain_keys_per_pump quiet worklist keys.
+  void pump_migration();
   /// Advances every shard's clock to `t` (no-op for shards already there).
   void sync_clocks_to(time_ns t);
   void merge_result(const routed_op& op) const;
+  void register_writeback(std::size_t op_index);
 
   shard_router_config cfg_;
-  hash_ring ring_;
+  hash_ring ring_;                        // target topology (current epoch)
+  std::unique_ptr<hash_ring> prev_ring_;  // retiring topology during a window
+  hash_ring::delta delta_;                // ownership changes old -> new
+  bool migrating_ = false;
   std::vector<std::unique_ptr<cluster>> shards_;
   std::vector<routed_op> ops_;
+
+  // Migration-window state (empty outside a window).
+  flat_hash_map<register_id, bool, reg_hash> migrated_;
+  std::vector<register_id> drain_worklist_;  // ascending, not yet handed off
+  flat_hash_map<register_id, std::vector<sub_op>, reg_hash> old_inflight_;
+  std::vector<pending_writeback> writebacks_;
+  std::vector<migration_event> migration_log_;
+  std::size_t moved_total_ = 0;
+  std::size_t migrated_total_ = 0;
+  /// begin_add_shard's in-flight scan starts here: every op before the
+  /// watermark is known terminal (ops complete roughly in submission order,
+  /// so repeated window opens never re-walk settled history).
+  std::size_t scan_from_ = 0;
+  // Scratch for batch routing: moved keys read from an old shard this call.
+  std::vector<std::vector<register_id>> wb_regs_scratch_;
 
   // submit_*_batch scratch: per-shard grouping buffers (sized shard_count).
   std::vector<std::vector<proto::write_op>> split_ops_;

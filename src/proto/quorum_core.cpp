@@ -5,6 +5,18 @@
 
 namespace remus::proto {
 
+namespace {
+
+/// Appends a coverage entry to an update ack: the register the ack vouches
+/// for (durable at >= the served tag), with no payload. Every batched-update
+/// ack builds its register list through here so the coverage wire shape has
+/// one definition.
+void add_ack_coverage(message& ack, register_id reg) {
+  ack.batch.push_back({reg, tag{}, value{}});
+}
+
+}  // namespace
+
 quorum_core::quorum_core(protocol_policy pol, process_id self, std::uint32_t n,
                          storage::stable_store& store, std::uint64_t initial_epoch)
     : pol_(std::move(pol)), self_(self), n_(n), store_(store), epoch_(initial_epoch) {
@@ -69,6 +81,8 @@ quorum_core::batch_slot& quorum_core::claim_slot(std::uint32_t i, register_id r)
   s.have_first = false;
   s.first_tag = tag{};
   s.first_val.data.clear();
+  s.acked.assign(n_, false);  // keeps capacity across operations
+  s.ack_count = 0;
   return s;
 }
 
@@ -316,6 +330,39 @@ void quorum_core::finish_operation(outputs& out) {
   cl_.reset();
 }
 
+bool quorum_core::in_update_phase() const {
+  return cl_.phase == phase_kind::write_update || cl_.phase == phase_kind::read_update ||
+         cl_.phase == phase_kind::recovery_update;
+}
+
+bool quorum_core::cover_batch_slots(const message& m) {
+  bool any = false;
+  auto cover = [&](batch_slot& s) {
+    if (s.acked[m.from.index]) return;
+    s.acked[m.from.index] = true;
+    s.ack_count += 1;
+    any = true;
+  };
+  if (m.batch.empty()) {
+    // A coverage-less ack (single-register peers, stale senders) vouches for
+    // the whole batch — the conservative reading of the pre-trim protocol.
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) cover(cl_.batch[i]);
+  } else {
+    for (const batch_entry& e : m.batch) {
+      if (batch_slot* s = find_slot(e.reg)) cover(*s);
+    }
+  }
+  return any;
+}
+
+bool quorum_core::batch_update_settled() const {
+  const std::uint32_t q = quorum_size();
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    if (cl_.batch[i].ack_count < q) return false;
+  }
+  return true;
+}
+
 bool quorum_core::ack_matches(const message& m) const {
   return m.op_seq == cl_.op_seq && m.epoch == epoch_ &&
          ((cl_.phase == phase_kind::write_query && m.round == 1) ||
@@ -327,7 +374,12 @@ bool quorum_core::ack_matches(const message& m) const {
 
 void quorum_core::handle_ack(const message& m, outputs& out) {
   if (!ack_matches(m)) return;  // stale phase / stale incarnation
-  if (m.from.index >= n_ || cl_.responded[m.from.index]) return;  // duplicate
+  if (m.from.index >= n_) return;
+  // Batched update rounds settle per (process, register) — a trimmed
+  // retransmission's ack covers only part of the batch, so a process may
+  // legitimately ack more than once; coverage marking is idempotent.
+  const bool batched_update = cl_.is_batch && in_update_phase();
+  if (!batched_update && cl_.responded[m.from.index]) return;  // duplicate
 
   switch (cl_.phase) {
     case phase_kind::write_query:
@@ -379,10 +431,26 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
       return;
   }
 
-  cl_.responded[m.from.index] = true;
-  cl_.responses += 1;
   cl_.depth = std::max(cl_.depth, m.log_depth);
-  if (cl_.responses < quorum_size()) return;
+  if (batched_update) {
+    if (!cover_batch_slots(m)) return;  // duplicate coverage
+    // A fully-covering process counts as responded (the retransmission loop
+    // skips it entirely; partial coverers keep receiving trimmed repeats).
+    bool covered_all = true;
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+      if (!cl_.batch[i].acked[m.from.index]) covered_all = false;
+    }
+    if (covered_all && !cl_.responded[m.from.index]) {
+      cl_.responded[m.from.index] = true;
+      cl_.responses += 1;
+    }
+    // Completion is per register: every slot durable at its own majority.
+    if (!batch_update_settled()) return;
+  } else {
+    cl_.responded[m.from.index] = true;
+    cl_.responses += 1;
+    if (cl_.responses < quorum_size()) return;
+  }
 
   // Quorum reached: advance the state machine.
   switch (cl_.phase) {
@@ -437,7 +505,7 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
   }
 }
 
-void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out) {
+message& quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out) {
   send_request& s = out.sends.emplace_slot();
   s.to = req.from;
   message& ack = s.msg;  // recycled slot: every field assigned
@@ -451,6 +519,7 @@ void quorum_core::send_ack(const message& req, std::uint32_t depth, outputs& out
   ack.log_depth = depth;
   ack.reg = req.reg;
   ack.batch.clear();
+  return ack;
 }
 
 // Update rounds ack a no-adopt duplicate immediately: the drivers guarantee
@@ -530,7 +599,11 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
     ++logs_needed;
   }
   if (logs_needed == 0) {
-    send_ack(m, m.log_depth, out);
+    // Every register of the message is already durable at >= its tag: ack
+    // immediately, listing the registers covered (the sender settles each
+    // register against its own majority — see handle_ack).
+    message& ack = send_ack(m, m.log_depth, out);
+    for (const batch_entry& e : m.batch) add_ack_coverage(ack, e.reg);
     return;
   }
   batch_ack& ba = batch_acks_[group];
@@ -540,6 +613,43 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
   ba.epoch = m.epoch;
   ba.depth = m.log_depth + 1;
   ba.remaining = logs_needed;
+  ba.regs.clear();
+  if (pol_.trim_batch_retransmit && logs_needed < m.batch.size()) {
+    // Split ack: registers that adopted nothing are durable at >= their tag
+    // *now* — vouch for them immediately and let the group ack cover only
+    // the registers whose (written) logs are still in flight. The early
+    // per-register votes settle unchanged registers at the sender sooner,
+    // which is what lets its retransmissions drop them from the repeat
+    // payload (common under contention: racing batches overlap only partly,
+    // and a read write-back usually adopts almost nothing).
+    //
+    // Classification: an entry whose replica tag equals e.ts either just
+    // adopted (its log is in this group) or was an equal-tag duplicate whose
+    // earlier log is already durable (the driver blocks the listener while a
+    // store is in flight) — grouping duplicates merely delays their vote, so
+    // the split stays sound either way.
+    const auto grouped = [this](const batch_entry& e) {
+      const replica_slot* rs = replicas_.find(e.reg);
+      return rs != nullptr && rs->vtag == e.ts;
+    };
+    std::size_t instant = 0;
+    for (const batch_entry& e : m.batch) {
+      if (!grouped(e)) ++instant;
+    }
+    if (instant > 0) {
+      message& ack = send_ack(m, m.log_depth, out);
+      for (const batch_entry& e : m.batch) {
+        if (grouped(e)) {
+          ba.regs.push_back(e.reg);
+        } else {
+          add_ack_coverage(ack, e.reg);
+        }
+      }
+      return;
+    }
+  }
+  // Untrimmed (or fully-adopting) path: one deferred ack covers the batch.
+  for (const batch_entry& e : m.batch) ba.regs.push_back(e.reg);
 }
 
 void quorum_core::serve(const message& m, outputs& out) {
@@ -660,6 +770,7 @@ void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
         ack.log_depth = ba->depth;
         ack.reg = default_register;
         ack.batch.clear();
+        for (const register_id reg : ba->regs) add_ack_coverage(ack, reg);
         batch_acks_.erase(pl.group);
         return;
       }
@@ -705,14 +816,68 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
       break;
   }
   // Repeat the pseudocode's "repeat send until" loop: re-send to the
-  // processes that have not answered this phase yet.
+  // processes that have not answered this phase yet. Batched update rounds
+  // with trimming on shrink each repeat to the registers that still need the
+  // recipient's vote: settled registers (majority-durable) and registers the
+  // recipient already acked carry no information, so their (tag, value)
+  // payloads are dropped from the wire.
+  const bool trim = pol_.trim_batch_retransmit && cl_.is_batch && in_update_phase();
+  const std::uint32_t q = quorum_size();
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (cl_.responded[i]) continue;
-    send_request& s = out.sends.emplace_slot();
-    s.to = process_id{i};
-    s.msg = cl_.current;  // copy-assign into retained capacity
+    if (!trim) {
+      send_request& s = out.sends.emplace_slot();
+      s.to = process_id{i};
+      s.msg = cl_.current;  // copy-assign into retained capacity
+      continue;
+    }
+    send_request* s = nullptr;
+    for (std::uint32_t j = 0; j < cl_.batch_n; ++j) {
+      const batch_slot& sl = cl_.batch[j];
+      if (sl.ack_count >= q || sl.acked[i]) continue;  // nothing needed from i
+      if (s == nullptr) {
+        s = &out.sends.emplace_slot();
+        s->to = process_id{i};
+        message& mm = s->msg;  // recycled slot: every field assigned
+        mm.kind = cl_.current.kind;
+        mm.from = cl_.current.from;
+        mm.op_seq = cl_.current.op_seq;
+        mm.round = cl_.current.round;
+        mm.epoch = cl_.current.epoch;
+        mm.ts = tag{};
+        mm.val.data.clear();
+        mm.log_depth = cl_.current.log_depth;
+        mm.reg = cl_.current.reg;
+        mm.batch.clear();
+      }
+      // Slot j's staged entry is index-aligned with the live batch (every
+      // update-round staging fills cl_.current.batch in slot order).
+      s->msg.batch.push_back(cl_.current.batch[j]);
+    }
   }
   arm_timer(out);
+}
+
+// ---- Rebalancing hooks -------------------------------------------------------
+
+void quorum_core::adopt_if_newer(register_id reg, const tag& ts, const value& v) {
+  check_input_allowed("adopt_if_newer");
+  replica_slot* found = replicas_.find(reg);
+  if (found != nullptr ? !(found->vtag < ts) : !(initial_tag < ts)) {
+    wsn_ = std::max(wsn_, ts.sn);
+    return;
+  }
+  replica_slot& rs = found != nullptr ? *found : replicas_[reg];
+  rs.vtag = ts;
+  rs.vval = v;
+  // Never re-mint a transferred sequence number (mirrors recovery's replay).
+  wsn_ = std::max(wsn_, ts.sn);
+}
+
+void quorum_core::evict(register_id reg) { replicas_.erase(reg); }
+
+void quorum_core::for_each_register(const std::function<void(register_id)>& fn) const {
+  replicas_.for_each([&fn](register_id reg, const replica_slot&) { fn(reg); });
 }
 
 void quorum_core::crash() {

@@ -133,6 +133,27 @@ class quorum_core final : public register_core {
   /// Distinct registers this replica holds state for (diagnostics).
   [[nodiscard]] std::size_t replica_register_count() const { return replicas_.size(); }
 
+  // ---- Rebalancing hooks (cluster::import_register / export_register) ----
+  //
+  // State transfer between quorum groups is driven by the shard router, not
+  // by the protocol: these touch only this replica's *volatile* register
+  // state and never emit effects (the matching stable records are written by
+  // the driver through the store). They are input-order agnostic — adopting
+  // is exactly the serve-an-update rule, so replaying or racing a transfer
+  // against live traffic is idempotent.
+
+  /// Adopt (ts, v) for `reg` iff newer than the local state (the replica's
+  /// serve rule, applied out of band). Also advances the local write counter
+  /// past ts.sn so single-writer variants never re-mint a transferred tag.
+  void adopt_if_newer(register_id reg, const tag& ts, const value& v);
+  /// Drop `reg`'s volatile state (its routing moved away; the stable records
+  /// are erased separately by the driver). No-op if absent.
+  void evict(register_id reg);
+  /// Enumerate registers with volatile replica state, in unspecified order
+  /// (callers sort; needed to build migration worklists under policies that
+  /// never log, where stable storage cannot enumerate the namespace).
+  void for_each_register(const std::function<void(register_id)>& fn) const;
+
  private:
   enum class phase_kind : std::uint8_t {
     idle,
@@ -162,6 +183,12 @@ class quorum_core final : public register_core {
     bool have_first = false;
     tag first_tag;        // first reply (safe-register reads)
     value first_val;
+    /// Update-round settlement, per register: acks list the registers they
+    /// cover, so each register independently reaches its own majority of
+    /// durable copies. A settled register (ack_count >= quorum) is dropped
+    /// from retransmissions when the policy trims them.
+    std::vector<bool> acked;  // indexed by process
+    std::uint32_t ack_count = 0;
   };
 
   struct client_state {
@@ -234,7 +261,9 @@ class quorum_core final : public register_core {
   };
 
   /// Deferred acknowledgement of a batched update: sent once `remaining`
-  /// per-register (written) logs are durable.
+  /// per-register (written) logs are durable. `regs` lists every register of
+  /// the served message (adopted or not) — the ack reports them all, since
+  /// "durable at >= this tag" holds for each once the adopted logs land.
   struct batch_ack {
     process_id to;
     std::uint64_t op_seq = 0;
@@ -242,6 +271,7 @@ class quorum_core final : public register_core {
     std::uint64_t epoch = 0;
     std::uint32_t depth = 0;
     std::uint32_t remaining = 0;
+    std::vector<register_id> regs;
   };
 
   struct token_hash {
@@ -263,6 +293,14 @@ class quorum_core final : public register_core {
   void finish_operation(outputs& out);
   [[nodiscard]] bool ack_matches(const message& m) const;
   void handle_ack(const message& m, outputs& out);
+  /// True while cl_ is in an update round (write round 2, read write-back,
+  /// or recovery's finish-write round).
+  [[nodiscard]] bool in_update_phase() const;
+  /// Marks the registers `m` covers as acked by its sender; returns true if
+  /// any register was newly covered.
+  bool cover_batch_slots(const message& m);
+  /// All live batch slots durable at their own majority.
+  [[nodiscard]] bool batch_update_settled() const;
   void serve(const message& m, outputs& out);
   void serve_update(const message& m, outputs& out);
   void serve_update_batch(const message& m, outputs& out);
@@ -270,7 +308,9 @@ class quorum_core final : public register_core {
   /// message) in place, reusing its value buffer; callers then set ts/val
   /// (and batch entries for batched phases).
   message& stage_msg(msg_kind k, std::uint32_t round, std::uint32_t depth);
-  void send_ack(const message& req, std::uint32_t depth, outputs& out);
+  /// Stages a write_ack answering `req` and returns it (batched-update
+  /// servers append the register list the ack covers).
+  message& send_ack(const message& req, std::uint32_t depth, outputs& out);
   [[nodiscard]] std::uint64_t fresh_token() { return next_token_++; }
   void arm_timer(outputs& out);
   void restore_volatile_from_stable();

@@ -44,14 +44,17 @@ std::vector<kv_op> make_kv_workload(const kv_workload_config& cfg) {
   if (cfg.batch_size > cfg.key_count) {
     throw precondition_error("kv_workload: batch_size exceeds key_count");
   }
+  if (cfg.value_bytes < 8) {
+    throw precondition_error("kv_workload: value_bytes must be >= 8");
+  }
 
   rng r(cfg.seed ^ 0x6b76776bULL);
   const zipf_sampler keys(cfg.key_count, cfg.zipf_theta);
 
   std::vector<kv_op> ops;
   ops.reserve(cfg.ops);
-  std::vector<time_ns> next_at(cfg.n, 0);
-  std::uint64_t next_value = 1;  // globally unique write values
+  std::vector<time_ns> next_at(cfg.n, cfg.start_at);
+  std::uint64_t next_value = cfg.value_base;  // globally unique write values
   std::vector<register_id> scratch;
 
   for (std::uint32_t i = 0; i < cfg.ops; ++i) {
@@ -94,7 +97,14 @@ std::vector<kv_op> make_kv_workload(const kv_workload_config& cfg) {
     for (const register_id reg : scratch) {
       kv_op::entry e;
       e.reg = reg;
-      if (!op.is_read) e.val = value_of_u64(next_value++);
+      if (!op.is_read) {
+        e.val = value_of_u64(next_value++);
+        if (cfg.value_bytes > 8) {
+          // Deterministic filler after the unique counter (field padding).
+          e.val.data.resize(cfg.value_bytes,
+                            static_cast<std::uint8_t>(0xa5 ^ (reg & 0xff)));
+        }
+      }
       op.entries.push_back(std::move(e));
     }
     ops.push_back(std::move(op));

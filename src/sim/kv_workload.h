@@ -50,6 +50,20 @@ struct kv_workload_config {
   time_ns mean_gap = 200 * 1000;    // mean inter-arrival per process
   std::uint64_t seed = 1;
 
+  /// Phase support for multi-stage drivers (e.g. bench_rebalance generating
+  /// before/during/after-reconfiguration traffic as separate calls): every
+  /// generated arrival time is offset by `start_at`, and write values start
+  /// at `value_base` — pass a value past anything the previous phase could
+  /// mint (its `value_base + ops * batch_size`) so the concatenated phases
+  /// keep globally unique write values (the atomicity checkers reject
+  /// duplicates).
+  time_ns start_at = 0;
+  std::uint64_t value_base = 1;
+  /// Write-value payload size in bytes (>= 8; the leading 8 bytes carry the
+  /// unique counter, the rest is deterministic filler — YCSB's field-length
+  /// knob, relevant wherever message bytes are measured).
+  std::uint32_t value_bytes = 8;
+
   /// Shard-aware batching. `shard_map` names the shard owning each register
   /// (e.g. core::hash_ring::shard_of, passed as a function so sim/ stays
   /// independent of core/). When `shard_local_batches` is set, every batch's

@@ -118,6 +118,11 @@ void file_store::for_each(record_area area,
   }
 }
 
+void file_store::erase(record_key key) {
+  std::error_code ec;
+  if (std::filesystem::remove(path_of(key), ec) && fsync_enabled_) sync_dir(dir_);
+}
+
 void file_store::wipe() {
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {

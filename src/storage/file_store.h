@@ -26,6 +26,7 @@ class file_store final : public stable_store {
   [[nodiscard]] std::optional<bytes> retrieve(record_key key) const override;
   void for_each(record_area area,
                 const std::function<void(register_id, const bytes&)>& fn) const override;
+  void erase(record_key key) override;
   void wipe() override;
   [[nodiscard]] std::uint64_t store_count() const override { return stores_; }
 

@@ -28,6 +28,20 @@ void memory_store::for_each(record_area area,
   }
 }
 
+void memory_store::erase(record_key key) {
+  const std::uint32_t* slot = index_.find(key);
+  if (slot == nullptr) return;
+  // Cold path (rebalancing): compact the record vector in place so for_each
+  // keeps enumerating the surviving records in first-store order, then
+  // re-point every shifted entry's index slot.
+  const std::uint32_t at = *slot;
+  records_.erase(records_.begin() + at);
+  index_.erase(key);
+  for (std::uint32_t i = at; i < records_.size(); ++i) {
+    index_[records_[i].first] = i;
+  }
+}
+
 void memory_store::wipe() {
   records_.clear();
   index_.clear();

@@ -77,6 +77,13 @@ class stable_store {
   virtual void for_each(record_area area,
                         const std::function<void(register_id, const bytes&)>& fn) const = 0;
 
+  /// Remove the record stored under `key`, if any. Used when a register's
+  /// state *moves* to another quorum group (shard rebalancing): once the
+  /// snapshot is durable at the destination, the source's records are
+  /// erased so its recovery no longer replays — or resurrects — a register
+  /// it stopped owning. No-op for absent keys.
+  virtual void erase(record_key key) = 0;
+
   /// Remove every record (fresh process install, not crash recovery).
   virtual void wipe() = 0;
 

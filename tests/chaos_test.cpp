@@ -10,6 +10,7 @@
 #include "history/tag_order.h"
 #include "proto/message.h"
 #include "proto/policy.h"
+#include "core/shard_router.h"
 #include "sim/kv_workload.h"
 
 namespace remus::core {
@@ -317,6 +318,145 @@ TEST(Soak, MixedWorkloadFaultsAndLossForSimulatedSeconds) {
   const auto order = history::check_tag_order(c.tagged_operations());
   EXPECT_TRUE(order.ok) << order.explanation;
   EXPECT_GT(c.tagged_operations().size(), 50u);  // the run did real work
+}
+
+// ---------- Migration chaos (live rebalancing under faults) ----------
+
+namespace {
+
+/// A 2-shard router with an open-loop keyed workload submitted, run
+/// partway so operations straddle the upcoming migration window.
+core::shard_router make_migrating_router(std::uint64_t seed,
+                                         std::vector<core::shard_router::op_handle>* hs) {
+  core::shard_router_config cfg;
+  cfg.shards = 2;
+  cfg.base.n = 3;
+  cfg.base.policy = proto::persistent_policy();
+  cfg.base.policy.retransmit_delay = 3_ms;
+  cfg.base.seed = seed;
+  core::shard_router r(cfg);
+
+  sim::kv_workload_config wc;
+  wc.n = 3;
+  wc.key_count = 48;
+  wc.ops = 160;
+  wc.read_fraction = 0.5;
+  wc.seed = seed;
+  for (const auto& op : sim::make_kv_workload(wc)) {
+    const auto h = op.is_read
+                       ? r.submit_read(op.p, op.entries[0].reg, op.at)
+                       : r.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at);
+    if (hs != nullptr) hs->push_back(h);
+  }
+  r.run_for(4_ms);  // some completed, some in flight at window open
+  return r;
+}
+
+void verify_merged(core::shard_router& r, const char* what) {
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << what << ": " << verdict.explanation;
+  EXPECT_GT(verdict.keys_checked, 4u);
+  const auto order = history::check_tag_order_per_key(r.tagged_operations());
+  EXPECT_TRUE(order.ok) << what << ": " << order.explanation;
+}
+
+/// The straddling workload must not silently vanish in the faulty window:
+/// crashes may cut a few ops short, but the vast majority completes and
+/// nothing is left permanently in flight.
+void verify_outcomes(core::shard_router& r,
+                     const std::vector<core::shard_router::op_handle>& handles,
+                     const char* what) {
+  std::size_t completed = 0;
+  for (const auto h : handles) {
+    if (r.result(h).completed) ++completed;
+  }
+  EXPECT_GE(completed, handles.size() * 3 / 4) << what;
+  EXPECT_EQ(r.events_pending(), 0u) << what;  // nothing stalled forever
+}
+
+}  // namespace
+
+TEST(MigrationChaos, SourceShardReplicaCrashesMidHandoff) {
+  // Crash a replica of each *source* shard right as the window opens (state
+  // is being exported from these very groups), recover mid-window: exports
+  // read stable storage, which survives the crash, and the drain waits out
+  // any operation the crash cut short.
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    std::vector<core::shard_router::op_handle> handles;
+    core::shard_router r = make_migrating_router(seed, &handles);
+    r.begin_add_shard();
+    r.submit_crash(0, process_id{1}, r.now() + 200_us);
+    r.submit_crash(1, process_id{2}, r.now() + 350_us);
+    r.submit_recover(0, process_id{1}, r.now() + 6_ms);
+    r.submit_recover(1, process_id{2}, r.now() + 7_ms);
+    // Window traffic while the sources are degraded.
+    std::uint32_t v = 1'000'000;
+    for (register_id reg = 0; reg < 48; reg += 5) {
+      r.submit_write(process_id{0}, reg, value_of_u32(v++), r.now() + 1_ms);
+      r.submit_read(process_id{2}, reg, r.now() + 2_ms);
+    }
+    ASSERT_TRUE(r.run_until_idle(200'000'000)) << "seed " << seed;
+    ASSERT_TRUE(r.migration_drained()) << "seed " << seed;
+    r.finish_add_shard();
+    verify_merged(r, "source crash");
+    verify_outcomes(r, handles, "source crash");
+  }
+}
+
+TEST(MigrationChaos, DestinationShardCrashesBeforeDrainCompletes) {
+  // Crash replicas of the *destination* shard while keys are still being
+  // imported: imports install stable records regardless (a crashed core
+  // restores them on recovery), so no transferred state is lost and writes
+  // handed off to the degraded destination finish once it recovers.
+  std::vector<core::shard_router::op_handle> handles;
+  core::shard_router r = make_migrating_router(21, &handles);
+  const std::uint32_t added = r.begin_add_shard();
+  // Take down a majority of the new shard for part of the window.
+  r.submit_crash(added, process_id{0}, r.now() + 100_us);
+  r.submit_crash(added, process_id{2}, r.now() + 150_us);
+  r.submit_recover(added, process_id{0}, r.now() + 5_ms);
+  r.submit_recover(added, process_id{2}, r.now() + 6_ms);
+  std::uint32_t v = 2'000'000;
+  for (register_id reg = 0; reg < 48; reg += 3) {
+    r.submit_write(process_id{1}, reg, value_of_u32(v++), r.now() + 500_us);
+  }
+  ASSERT_TRUE(r.run_until_idle(200'000'000));
+  ASSERT_TRUE(r.migration_drained());
+  r.finish_add_shard();
+  verify_merged(r, "destination crash");
+  verify_outcomes(r, handles, "destination crash");
+  // The transferred namespace serves from the new topology afterwards.
+  for (register_id reg = 0; reg < 48; reg += 7) {
+    (void)r.read(process_id{0}, reg);
+  }
+  verify_merged(r, "destination crash + post reads");
+}
+
+TEST(MigrationChaos, ReenteredRecoveryDuringWindowStaysAtomic) {
+  // A source replica crashes, recovers, and crashes *again during its
+  // recovery replay window* while the migration drain is running — the
+  // double-fault from ReentrantRecovery, now overlapped with an epoch
+  // change. The merged two-epoch history must still be atomic per key.
+  std::vector<core::shard_router::op_handle> handles;
+  core::shard_router r = make_migrating_router(31, &handles);
+  r.begin_add_shard();
+  const time_ns t0 = r.now();
+  r.submit_crash(0, process_id{1}, t0 + 200_us);
+  r.submit_recover(0, process_id{1}, t0 + 1_ms);
+  // Recovery replay takes ~recovery_read_latency + a quorum round; crash
+  // again inside it, then recover for good.
+  r.submit_crash(0, process_id{1}, t0 + 1_ms + 300_us);
+  r.submit_recover(0, process_id{1}, t0 + 8_ms);
+  std::uint32_t v = 3'000'000;
+  for (register_id reg = 0; reg < 48; reg += 4) {
+    r.submit_write(process_id{1}, reg, value_of_u32(v++), t0 + 2_ms);
+    r.submit_read(process_id{2}, reg, t0 + 3_ms);
+  }
+  ASSERT_TRUE(r.run_until_idle(200'000'000));
+  ASSERT_TRUE(r.migration_drained());
+  r.finish_add_shard();
+  verify_merged(r, "re-entered recovery");
+  verify_outcomes(r, handles, "re-entered recovery");
 }
 
 }  // namespace

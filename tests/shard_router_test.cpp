@@ -89,6 +89,101 @@ TEST(HashRing, GrowingTheRingMovesAboutOneOverSKeys) {
 TEST(HashRing, RejectsEmptyConfigurations) {
   EXPECT_THROW(hash_ring(0, 64), driver_error);
   EXPECT_THROW(hash_ring(4, 0), driver_error);
+  EXPECT_THROW(hash_ring({0, 1, 1}, 64, 0), driver_error);  // duplicate id
+  EXPECT_THROW(hash_ring(std::vector<std::uint32_t>{}, 64, 0), driver_error);
+}
+
+TEST(HashRing, EpochsStampSnapshotsAndDerivations) {
+  const hash_ring r(2, 64);
+  EXPECT_EQ(r.epoch(), 0u);
+  const hash_ring grown = r.grow(2);
+  EXPECT_EQ(grown.epoch(), 1u);
+  EXPECT_EQ(grown.shard_count(), 3u);
+  EXPECT_TRUE(grown.has_shard(2));
+  const hash_ring back = grown.shrink(2);
+  EXPECT_EQ(back.epoch(), 2u);
+  EXPECT_EQ(back.shard_ids(), r.shard_ids());
+  EXPECT_THROW(r.grow(1), driver_error);    // id already present
+  EXPECT_THROW(r.shrink(7), driver_error);  // id absent
+}
+
+TEST(HashRing, SingleShardRingOwnsEverythingAndCannotShrink) {
+  const hash_ring one(1, 64);
+  for (register_id reg = 0; reg < 4'096; ++reg) {
+    ASSERT_EQ(one.shard_of(reg), 0u);
+  }
+  EXPECT_THROW(one.shrink(0), driver_error);
+  // Growing 1 -> 2 moves roughly half the keys, all onto the new shard.
+  const hash_ring two = one.grow(1);
+  const auto d = hash_ring::diff(one, two);
+  std::uint32_t moved = 0;
+  for (register_id reg = 0; reg < 32'768; ++reg) {
+    if (d.moved(reg)) {
+      ++moved;
+      EXPECT_EQ(two.shard_of(reg), 1u);
+    }
+  }
+  EXPECT_GT(moved, 32'768 / 4);
+  EXPECT_LT(moved, 3 * 32'768 / 4);
+}
+
+TEST(HashRing, ShrinkMovesOnlyTheRemovedShardsKeys) {
+  const hash_ring before(4, 64);
+  const hash_ring after = before.shrink(2);
+  const std::uint32_t keys = 32 * 1024;
+  std::uint32_t moved = 0;
+  for (register_id reg = 0; reg < keys; ++reg) {
+    const std::uint32_t was = before.shard_of(reg);
+    const std::uint32_t is = after.shard_of(reg);
+    if (was != 2) {
+      // Survivors keep every key they had: removal never shuffles them.
+      ASSERT_EQ(is, was) << "register " << reg << " moved between survivors";
+    } else {
+      ASSERT_NE(is, 2u);
+      ++moved;
+    }
+  }
+  // The removed shard owned ~1/4 of the namespace; all of it moved.
+  EXPECT_GT(moved, keys / 8);
+  EXPECT_LT(moved, keys / 2);
+}
+
+TEST(HashRing, DiffMatchesBruteForceOwnershipComparison) {
+  for (const auto& [before, after] :
+       {std::pair{hash_ring(2, 64), hash_ring(2, 64).grow(2)},
+        std::pair{hash_ring(4, 64), hash_ring(4, 64).shrink(1)},
+        std::pair{hash_ring(3, 16), hash_ring(3, 16).grow(3)}}) {
+    const auto d = hash_ring::diff(before, after);
+    EXPECT_FALSE(d.empty());
+    for (register_id reg = 0; reg < 32'768; ++reg) {
+      const std::uint32_t was = before.shard_of(reg);
+      const std::uint32_t is = after.shard_of(reg);
+      ASSERT_EQ(d.moved(reg), was != is) << "register " << reg;
+      if (const auto* seg = d.segment_of(reg)) {
+        ASSERT_EQ(seg->from_shard, was);
+        ASSERT_EQ(seg->to_shard, is);
+      }
+    }
+  }
+  // Identical snapshots produce an empty delta.
+  EXPECT_TRUE(hash_ring::diff(hash_ring(4, 64), hash_ring(4, 64)).empty());
+}
+
+TEST(HashRing, DiffOfFullCircleOwnershipChangeMovesEveryKey) {
+  // Replacing the only shard changes the owner of the whole circle: the
+  // delta degenerates to a single lo == hi segment, which must mean "every
+  // key moved", not "none did".
+  const hash_ring only_zero(std::vector<std::uint32_t>{0}, 64, 0);
+  const hash_ring only_one(std::vector<std::uint32_t>{1}, 64, 0);
+  const auto d = hash_ring::diff(only_zero, only_one);
+  ASSERT_FALSE(d.empty());
+  for (register_id reg = 0; reg < 10'000; ++reg) {
+    ASSERT_TRUE(d.moved(reg)) << "register " << reg;
+    const auto* seg = d.segment_of(reg);
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(seg->from_shard, 0u);
+    EXPECT_EQ(seg->to_shard, 1u);
+  }
 }
 
 // ---------- Routing & merged results ----------
@@ -318,6 +413,264 @@ TEST(KvWorkload, ShardLocalBatchesNeverSpanShards) {
       EXPECT_EQ(ring.shard_of(e.reg), home) << "batch spans shards";
     }
   }
+}
+
+// ---------- Live rebalancing (migration window) ----------
+
+/// Registers of `r` that the epoch+1 grow would move (computed on rings
+/// only, so callable before begin_add_shard()).
+std::vector<register_id> moved_keys_on_grow(const shard_router& r,
+                                            register_id key_count) {
+  const hash_ring after = r.ring().grow(r.shard_count());
+  const auto d = hash_ring::diff(r.ring(), after);
+  std::vector<register_id> moved;
+  for (register_id reg = 0; reg < key_count; ++reg) {
+    if (d.moved(reg)) moved.push_back(reg);
+  }
+  return moved;
+}
+
+TEST(ShardRouterMigration, GrowPreservesEveryValueAcrossTheEpochChange) {
+  shard_router r(router_cfg(2));
+  const register_id keys = 32;
+  for (register_id reg = 0; reg < keys; ++reg) {
+    r.write(process_id{0}, reg, value_of_u32(1000 + reg));
+  }
+  const auto moved = moved_keys_on_grow(r, keys);
+  ASSERT_FALSE(moved.empty());
+
+  const std::uint32_t added = r.begin_add_shard();
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(r.migration_active());
+  EXPECT_EQ(r.ring().epoch(), 1u);
+  EXPECT_GE(r.moved_key_count(), moved.size());
+
+  // Reads during the window still see everything (moved keys answer from
+  // their old shard until handoff).
+  for (register_id reg = 0; reg < keys; ++reg) {
+    EXPECT_EQ(value_as_u32(r.read(process_id{1}, reg)), 1000 + reg) << "reg " << reg;
+  }
+
+  // Drain the worklist through the scheduling loop, then retire the ring.
+  ASSERT_TRUE(r.run_until_idle());
+  ASSERT_TRUE(r.migration_drained());
+  r.finish_add_shard();
+  EXPECT_FALSE(r.migration_active());
+  EXPECT_EQ(r.migrated_key_count(), r.moved_key_count());
+
+  // Post-finish: moved keys route to the new shard and still hold their
+  // values; the source groups no longer carry their state.
+  for (const register_id reg : moved) {
+    EXPECT_EQ(r.shard_of(reg), added);
+    EXPECT_EQ(value_as_u32(r.read(process_id{2}, reg)), 1000 + reg);
+    for (std::uint32_t s = 0; s < added; ++s) {
+      EXPECT_FALSE(r.shard(s).export_register(reg).has_state)
+          << "stale state for reg " << reg << " on source shard " << s;
+    }
+  }
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto tags = history::check_tag_order_per_key(r.tagged_operations());
+  EXPECT_TRUE(tags.ok) << tags.explanation;
+}
+
+TEST(ShardRouterMigration, WriteDuringWindowHandsTheKeyOffWithDominatingTag) {
+  shard_router r(router_cfg(2));
+  const auto moved = moved_keys_on_grow(r, 64);
+  ASSERT_FALSE(moved.empty());
+  const register_id hot = moved.front();
+  for (int i = 0; i < 3; ++i) {
+    r.write(process_id{0}, hot, value_of_u32(10 + i));  // old-shard tag grows
+  }
+  const std::uint32_t added = r.begin_add_shard();
+
+  // First touched write migrates the key: export/import/evict, then the
+  // write runs on the new shard with a strictly larger tag.
+  r.write(process_id{1}, hot, value_of_u32(99));
+  EXPECT_EQ(r.shard_of(hot), added);
+  bool handed_off = false;
+  for (const auto& ev : r.migration_log()) {
+    if (ev.reg == hot &&
+        ev.why == shard_router::migration_event::cause::write_handoff) {
+      handed_off = true;
+      EXPECT_EQ(ev.to_shard, added);
+    }
+  }
+  EXPECT_TRUE(handed_off);
+  EXPECT_EQ(value_as_u32(r.read(process_id{2}, hot)), 99u);
+
+  ASSERT_TRUE(r.run_until_idle());
+  r.finish_add_shard();
+  const auto tags = history::check_tag_order_per_key(r.tagged_operations());
+  EXPECT_TRUE(tags.ok) << tags.explanation;
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(ShardRouterMigration, WindowReadAnchorsStateAtTheDestination) {
+  shard_router r(router_cfg(2));
+  const auto moved = moved_keys_on_grow(r, 64);
+  ASSERT_FALSE(moved.empty());
+  const register_id reg = moved.front();
+  r.write(process_id{0}, reg, value_of_u32(7));
+  const std::uint32_t added = r.begin_add_shard();
+
+  // A window read serves from the old shard, then writes the result back
+  // onto the new shard before reporting completion (cross-shard two-phase
+  // read). The key itself is NOT handed off by a read.
+  EXPECT_EQ(value_as_u32(r.read(process_id{1}, reg)), 7u);
+  const auto snap = r.shard(added).export_register(reg);
+  EXPECT_TRUE(snap.has_state);
+  EXPECT_EQ(value_as_u32(snap.written_val), 7u);
+
+  ASSERT_TRUE(r.run_until_idle());
+  r.finish_add_shard();
+  EXPECT_EQ(value_as_u32(r.read(process_id{2}, reg)), 7u);
+}
+
+TEST(ShardRouterMigration, AsyncWindowReadCompletesOnlyAfterWriteback) {
+  shard_router r(router_cfg(2));
+  const auto moved = moved_keys_on_grow(r, 64);
+  ASSERT_FALSE(moved.empty());
+  const register_id reg = moved.front();
+  r.write(process_id{0}, reg, value_of_u32(5));
+  r.begin_add_shard();
+
+  const auto h = r.submit_read(process_id{1}, reg, r.now());
+  ASSERT_TRUE(r.run_until_idle());
+  const auto& res = r.result(h);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(value_as_u32(res.v), 5u);
+  ASSERT_TRUE(r.migration_drained());
+  r.finish_add_shard();
+}
+
+TEST(ShardRouterMigration, OpenWorkloadAcrossWindowLosesNothing) {
+  shard_router r(router_cfg(2, /*n=*/3, /*seed=*/5));
+  sim::kv_workload_config wc;
+  wc.n = 3;
+  wc.key_count = 96;
+  wc.ops = 150;
+  wc.read_fraction = 0.5;
+  wc.seed = 5;
+
+  auto submit = [&r](const std::vector<sim::kv_op>& ops,
+                     std::vector<shard_router::op_handle>& hs) {
+    for (const auto& op : ops) {
+      if (op.is_read) {
+        hs.push_back(r.submit_read(op.p, op.entries[0].reg, op.at));
+      } else {
+        hs.push_back(r.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at));
+      }
+    }
+  };
+
+  std::vector<shard_router::op_handle> handles;
+  submit(sim::make_kv_workload(wc), handles);
+  r.run_for(5_ms);  // phase A partially executed, ops still in flight
+
+  r.begin_add_shard();
+  wc.start_at = r.now();
+  wc.value_base = 1'000'000;  // keep write values globally unique
+  wc.seed = 6;
+  submit(sim::make_kv_workload(wc), handles);  // phase B rides the window
+
+  ASSERT_TRUE(r.run_until_idle(200'000'000));
+  ASSERT_TRUE(r.migration_drained());
+  r.finish_add_shard();
+
+  wc.start_at = r.now();
+  wc.value_base = 2'000'000;
+  wc.seed = 7;
+  submit(sim::make_kv_workload(wc), handles);  // phase C at S+1
+  ASSERT_TRUE(r.run_until_idle(200'000'000));
+
+  // Zero failed operations: nothing dropped, everything completed.
+  for (const auto h : handles) {
+    const auto& res = r.result(h);
+    EXPECT_TRUE(res.completed);
+    EXPECT_FALSE(res.dropped);
+  }
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  EXPECT_GT(verdict.keys_checked, 10u);
+  const auto tags = history::check_tag_order_per_key(r.tagged_operations());
+  EXPECT_TRUE(tags.ok) << tags.explanation;
+}
+
+TEST(ShardRouterMigration, SameSeedYieldsIdenticalScheduleAndHistory) {
+  // Satellite determinism pin: the migration schedule (which key moved,
+  // whence, whither, when, why) and the merged two-epoch history are pure
+  // functions of (config, workload, reconfiguration calls).
+  auto run = [](std::uint64_t seed) {
+    shard_router r(router_cfg(2, 3, seed));
+    sim::kv_workload_config wc;
+    wc.n = 3;
+    wc.key_count = 48;
+    wc.ops = 120;
+    wc.seed = seed;
+    for (const auto& op : sim::make_kv_workload(wc)) {
+      if (op.is_read) {
+        r.submit_read(op.p, op.entries[0].reg, op.at);
+      } else {
+        r.submit_write(op.p, op.entries[0].reg, op.entries[0].val, op.at);
+      }
+    }
+    r.run_for(3_ms);
+    r.begin_add_shard();
+    EXPECT_TRUE(r.run_until_idle());
+    r.finish_add_shard();
+    return std::pair{r.migration_log(), r.events()};
+  };
+  const auto a = run(33);
+  const auto b = run(33);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_EQ(a.first[i].reg, b.first[i].reg);
+    EXPECT_EQ(a.first[i].from_shard, b.first[i].from_shard);
+    EXPECT_EQ(a.first[i].to_shard, b.first[i].to_shard);
+    EXPECT_EQ(a.first[i].at, b.first[i].at);
+    EXPECT_EQ(a.first[i].why, b.first[i].why);
+  }
+  ASSERT_EQ(a.second.size(), b.second.size());
+  for (std::size_t i = 0; i < a.second.size(); ++i) {
+    EXPECT_EQ(a.second[i].kind, b.second[i].kind);
+    EXPECT_EQ(a.second[i].p, b.second[i].p);
+    EXPECT_EQ(a.second[i].reg, b.second[i].reg);
+    EXPECT_EQ(a.second[i].at, b.second[i].at);
+    EXPECT_EQ(a.second[i].v, b.second[i].v);
+  }
+}
+
+TEST(ShardRouterMigration, CrashStopPolicyCannotRebalance) {
+  // Handoff moves state through stable storage; crash-stop has none, so a
+  // completed write whose adopters all crash-stop would export as stale and
+  // the new shard would serve a rollback. The router refuses up front.
+  shard_router_config cfg = router_cfg(2);
+  cfg.base.policy = proto::crash_stop_policy();
+  shard_router r(cfg);
+  EXPECT_THROW(r.begin_add_shard(), driver_error);
+}
+
+TEST(ShardRouterMigration, WindowLifecycleGuards) {
+  shard_router r(router_cfg(2));
+  r.write(process_id{0}, 3, value_of_u32(1));
+  EXPECT_THROW(r.finish_add_shard(), driver_error);  // no window open
+  r.begin_add_shard();
+  EXPECT_THROW(r.begin_add_shard(), driver_error);  // window already open
+  if (!r.migration_drained()) {
+    EXPECT_THROW(r.finish_add_shard(), driver_error);  // not drained yet
+  }
+  ASSERT_TRUE(r.run_until_idle());
+  r.finish_add_shard();
+  // A second grow works from the new topology (2 epochs recorded).
+  r.begin_add_shard();
+  ASSERT_TRUE(r.run_until_idle());
+  r.finish_add_shard();
+  EXPECT_EQ(r.shard_count(), 4u);
+  EXPECT_EQ(r.ring().epoch(), 2u);
+  const auto verdict = history::check_persistent_atomicity_per_key(r.events());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
 }
 
 }  // namespace
