@@ -191,7 +191,10 @@ void shard_router::handoff_key(register_id reg, migration_event::cause why,
   // Snapshot the old group's freshest state (written + any pending pre-log),
   // install it durably at every destination process, then strip it from the
   // source so no future source recovery resurrects a key it stopped owning.
-  shards_[to]->import_register(shards_[from]->export_register(reg));
+  const cluster::register_snapshot snap = shards_[from]->export_register(reg);
+  if (cfg_.test_fault != shard_router_config::injected_fault::drop_handoff_state) {
+    shards_[to]->import_register(snap);
+  }
   shards_[from]->evict_register(reg);
   migrated_[reg] = true;
   migrated_total_ += 1;
@@ -276,6 +279,10 @@ void shard_router::pump_migration() {
           snap.written_val = res.v;
         }
         if (!snap.has_state) continue;  // never-written key: nothing to anchor
+        if (cfg_.test_fault ==
+            shard_router_config::injected_fault::skip_read_writeback) {
+          continue;
+        }
         const std::uint32_t to = ring_.shard_of(reg);
         shards_[to]->import_register(snap);
         migration_log_.push_back(
@@ -480,7 +487,8 @@ value shard_router::read(process_id p, register_id reg) {
   cluster& owner = *shards_[s];
   value v = owner.read(p, reg);
   sync_clocks_to(owner.now());
-  if (moved_read && !is_migrated(reg)) {
+  if (moved_read && !is_migrated(reg) &&
+      cfg_.test_fault != shard_router_config::injected_fault::skip_read_writeback) {
     // Synchronous form of the window read's write-back: anchor the freshest
     // old-shard state at the destination before returning the value.
     const cluster::register_snapshot snap = owner.export_register(reg);

@@ -117,6 +117,20 @@ struct shard_router_config {
   /// while a migration window is open (>= 1). Lower stretches the window;
   /// higher converges faster but bursts import work.
   std::uint32_t drain_keys_per_pump = 4;
+
+  /// Deliberate migration-path bugs, injectable under test only: the
+  /// scenario fuzzer's catch-and-minimize acceptance check plants one and
+  /// requires the history checkers to reject the run.
+  enum class injected_fault : std::uint8_t {
+    none = 0,
+    /// Handoff evicts the source but skips the destination import: the new
+    /// shard answers from ⊥, rolling the key back past completed writes.
+    drop_handoff_state = 1,
+    /// Window reads skip the cross-shard write-back (the dual-ring read
+    /// discipline with its second phase removed).
+    skip_read_writeback = 2,
+  };
+  injected_fault test_fault = injected_fault::none;
 };
 
 class shard_router final {

@@ -530,6 +530,7 @@ message& quorum_core::send_ack(const message& req, std::uint32_t depth, outputs&
 void quorum_core::serve_update(const message& m, outputs& out) {
   replica_slot* found = replicas_.find(m.reg);
   const bool adopt = (found != nullptr ? found->vtag : initial_tag) < m.ts;
+  (adopt ? branches_.adoptions : branches_.stale_updates) += 1;
   if (adopt) {
     // Insert only on adoption: registers merely heard about (stale
     // write-backs of the initial tag, retransmissions) hold no state here.
@@ -571,9 +572,15 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
                                                    : pol_.log_on_read_writeback);
   std::uint32_t logs_needed = 0;
   std::uint64_t group = 0;
+  std::uint32_t adopted = 0;
   for (const batch_entry& e : m.batch) {
     replica_slot* found = replicas_.find(e.reg);
-    if (!((found != nullptr ? found->vtag : initial_tag) < e.ts)) continue;
+    if (!((found != nullptr ? found->vtag : initial_tag) < e.ts)) {
+      branches_.stale_updates += 1;
+      continue;
+    }
+    branches_.adoptions += 1;
+    ++adopted;
     replica_slot& rs = found != nullptr ? *found : replicas_[e.reg];
     rs.vtag = e.ts;
     rs.vval = e.val;
@@ -598,6 +605,7 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
     pl.group = group;
     ++logs_needed;
   }
+  if (adopted > 0 && adopted < m.batch.size()) branches_.adopt_splits += 1;
   if (logs_needed == 0) {
     // Every register of the message is already durable at >= its tag: ack
     // immediately, listing the registers covered (the sender settles each
@@ -822,6 +830,8 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
   // recipient already acked carry no information, so their (tag, value)
   // payloads are dropped from the wire.
   const bool trim = pol_.trim_batch_retransmit && cl_.is_batch && in_update_phase();
+  branches_.retransmits += 1;
+  if (trim) branches_.retransmit_trims += 1;
   const std::uint32_t q = quorum_size();
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (cl_.responded[i]) continue;
@@ -890,6 +900,9 @@ void quorum_core::crash() {
   cl_ = client_state{};
   pending_logs_.clear();
   batch_acks_.clear();
+  // branches_ deliberately survives: it is a whole-run coverage diagnostic,
+  // not protocol state, and zeroing it on crash would erase everything a
+  // blackout-heavy schedule observed.
   op_counter_ = 0;
 }
 
@@ -987,6 +1000,7 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
         m.batch[i].val = cl_.batch[i].payload;
       }
     }
+    branches_.recovery_finish_writes += 1;
     begin_phase(phase_kind::recovery_update, out);
     return;
   }

@@ -133,6 +133,20 @@ class quorum_core final : public register_core {
   /// Distinct registers this replica holds state for (diagnostics).
   [[nodiscard]] std::size_t replica_register_count() const { return replicas_.size(); }
 
+  /// Protocol-branch counters: which rare paths an execution actually took.
+  /// The scenario fuzzer folds these into its coverage accounting so
+  /// generation can bias toward schedules that exercise under-hit branches.
+  /// Cumulative across crashes (a run diagnostic, not protocol state).
+  struct branch_stats {
+    std::uint64_t adoptions = 0;         // serve_update adopted a newer value
+    std::uint64_t stale_updates = 0;     // serve_update kept the local value
+    std::uint64_t adopt_splits = 0;      // batched serve mixing adopt + stale
+    std::uint64_t retransmits = 0;       // timer-driven phase re-broadcasts
+    std::uint64_t retransmit_trims = 0;  // settled keys trimmed from those
+    std::uint64_t recovery_finish_writes = 0;  // persistent recovery round 2
+  };
+  [[nodiscard]] const branch_stats& branches() const { return branches_; }
+
   // ---- Rebalancing hooks (cluster::import_register / export_register) ----
   //
   // State transfer between quorum groups is driven by the shard router, not
@@ -334,6 +348,7 @@ class quorum_core final : public register_core {
   client_state cl_;
   flat_hash_map<std::uint64_t, pending_log, token_hash> pending_logs_;
   flat_hash_map<std::uint64_t, batch_ack, token_hash> batch_acks_;
+  branch_stats branches_;
   std::uint64_t op_counter_ = 0;
   std::uint64_t next_token_ = 1;
   std::uint64_t epoch_ = 0;

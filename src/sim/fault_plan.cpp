@@ -63,10 +63,13 @@ fault_plan make_random_plan(const random_plan_config& cfg, rng& r) {
   return plan;
 }
 
-fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down) {
+fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down,
+                              time_ns skew_step) {
   fault_plan plan;
   for (std::uint32_t i = 0; i < n; ++i) plan.add_crash(at, process_id{i});
-  for (std::uint32_t i = 0; i < n; ++i) plan.add_recover(at + down, process_id{i});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    plan.add_recover(at + down + static_cast<time_ns>(i) * skew_step, process_id{i});
+  }
   plan.sort();
   return plan;
 }

@@ -62,7 +62,11 @@ struct random_plan_config {
 [[nodiscard]] fault_plan make_random_plan(const random_plan_config& cfg, rng& r);
 
 /// Crashes every process at `at` and recovers all of them at `at + down`
-/// (the paper's "all crash, possibly at the same time" scenario).
-[[nodiscard]] fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down);
+/// (the paper's "all crash, possibly at the same time" scenario). A nonzero
+/// `skew_step` staggers recovery: process i comes back at
+/// `at + down + i * skew_step`, so recovery reassembles the majority one
+/// process at a time from stable storage alone.
+[[nodiscard]] fault_plan make_blackout_plan(std::uint32_t n, time_ns at, time_ns down,
+                                            time_ns skew_step = 0);
 
 }  // namespace remus::sim

@@ -14,6 +14,26 @@ void network_model::restore_link(process_id from, process_id to) {
 
 void network_model::restore_all_links() { cut_.clear(); }
 
+void network_model::cut_pair(process_id a, process_id b) {
+  cut_link(a, b);
+  cut_link(b, a);
+}
+
+void network_model::restore_pair(process_id a, process_id b) {
+  restore_link(a, b);
+  restore_link(b, a);
+}
+
+void network_model::partition(const std::vector<std::vector<process_id>>& groups) {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      for (const process_id a : groups[i]) {
+        for (const process_id b : groups[j]) cut_pair(a, b);
+      }
+    }
+  }
+}
+
 void network_model::route(time_ns now, process_id from,
                           const std::vector<process_id>& tos,
                           std::size_t size_bytes, std::uint8_t kind,

@@ -99,6 +99,17 @@ class network_model {
   void restore_link(process_id from, process_id to);
   void restore_all_links();
 
+  /// Symmetric forms: real partitions sever both directions at once, and
+  /// hand-looping the two cut_link calls is how scripted tests got the
+  /// asymmetry wrong.
+  void cut_pair(process_id a, process_id b);
+  void restore_pair(process_id a, process_id b);
+
+  /// Partition the processes into the given groups: every link between two
+  /// different groups is cut in both directions; links within a group are
+  /// untouched. Heal with restore_all_links().
+  void partition(const std::vector<std::vector<process_id>>& groups);
+
   [[nodiscard]] const network_config& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t messages_routed() const { return routed_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }

@@ -27,10 +27,8 @@ TEST(Partition, WriterIsolatedFromMajorityStallsThenHeals) {
   c.write(process_id{0}, value_of_u32(1));
 
   // Cut p0 off from everyone (both directions).
-  for (std::uint32_t q = 1; q < 5; ++q) {
-    c.network().cut_link(process_id{0}, process_id{q});
-    c.network().cut_link(process_id{q}, process_id{0});
-  }
+  c.network().partition({{process_id{0}},
+                         {process_id{1}, process_id{2}, process_id{3}, process_id{4}}});
   const auto w = c.submit_write(process_id{0}, value_of_u32(2), c.now());
   c.run_for(100_ms);
   EXPECT_FALSE(c.result(w).completed);  // no majority reachable
@@ -55,12 +53,8 @@ TEST(Partition, MinoritySideServesNothingButStaysConsistent) {
   c.write(process_id{0}, value_of_u32(1));
 
   // Split {0,1} | {2,3,4}: cut all cross links.
-  for (std::uint32_t a : {0u, 1u}) {
-    for (std::uint32_t b : {2u, 3u, 4u}) {
-      c.network().cut_link(process_id{a}, process_id{b});
-      c.network().cut_link(process_id{b}, process_id{a});
-    }
-  }
+  c.network().partition({{process_id{0}, process_id{1}},
+                         {process_id{2}, process_id{3}, process_id{4}}});
   const auto minority_w = c.submit_write(process_id{0}, value_of_u32(2), c.now());
   const auto majority_w = c.submit_write(process_id{3}, value_of_u32(3), c.now());
   c.run_for(100_ms);
@@ -86,10 +80,8 @@ TEST(Partition, FlappingLinksEventuallyDeliver) {
   const auto w = c.submit_write(process_id{0}, value_of_u32(7), 0);
   for (int i = 0; i < 10; ++i) {
     if (i % 2 == 0) {
-      for (std::uint32_t q = 1; q < 3; ++q) {
-        c.network().cut_link(process_id{0}, process_id{q});
-        c.network().cut_link(process_id{q}, process_id{0});
-      }
+      c.network().cut_pair(process_id{0}, process_id{1});
+      c.network().cut_pair(process_id{0}, process_id{2});
     } else {
       c.network().restore_all_links();
     }

@@ -260,6 +260,75 @@ TEST(ShardRouter, CrossShardBatchSplitsAndMergesInOriginalOrder) {
   EXPECT_TRUE(verdict.ok) << verdict.explanation;
 }
 
+// ---------- Mutation negatives ----------
+//
+// The scenario fuzzer trusts check_atomicity_per_key to reject bad merged
+// multi-shard histories; these tests plant the two classic migration bugs by
+// mutating a *real* clean history and assert the checker flags the right key.
+
+TEST(ShardRouter, CheckerRejectsCrossShardValueSwap) {
+  shard_router r(router_cfg(2));
+  register_id reg_a = 0, reg_b = 0;
+  for (register_id reg = 1; reg < 1000; ++reg) {
+    if (r.shard_of(reg) != r.shard_of(reg_a)) {
+      reg_b = reg;
+      break;
+    }
+  }
+  ASSERT_NE(r.shard_of(reg_a), r.shard_of(reg_b));
+  r.write(process_id{0}, reg_a, value_of_u32(101));
+  r.write(process_id{0}, reg_b, value_of_u32(202));
+  EXPECT_EQ(value_as_u32(r.read(process_id{1}, reg_a)), 101u);
+  EXPECT_EQ(value_as_u32(r.read(process_id{1}, reg_b)), 202u);
+  history::history_log h = r.events();
+  ASSERT_TRUE(history::check_persistent_atomicity_per_key(h).ok);
+
+  // Swap the two reads' returned values across the shard boundary — as if a
+  // handoff had imported the wrong register's state. Each read now returns
+  // a value never written to its key.
+  history::event* read_a = nullptr;
+  history::event* read_b = nullptr;
+  for (history::event& e : h) {
+    if (e.kind != history::event_kind::reply_read) continue;
+    if (e.reg == reg_a) read_a = &e;
+    if (e.reg == reg_b) read_b = &e;
+  }
+  ASSERT_NE(read_a, nullptr);
+  ASSERT_NE(read_b, nullptr);
+  std::swap(read_a->v, read_b->v);
+
+  const auto verdict = history::check_persistent_atomicity_per_key(h);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(verdict.failing_key == reg_a || verdict.failing_key == reg_b)
+      << "failing key " << verdict.failing_key;
+  EXPECT_FALSE(verdict.explanation.empty());
+}
+
+TEST(ShardRouter, CheckerRejectsDroppedWriteBack) {
+  shard_router r(router_cfg(2));
+  const register_id reg = 5;
+  r.write(process_id{0}, reg, value_of_u32(7));
+  r.write(process_id{1}, reg, value_of_u32(8));
+  EXPECT_EQ(value_as_u32(r.read(process_id{2}, reg)), 8u);
+  history::history_log h = r.events();
+  ASSERT_TRUE(history::check_persistent_atomicity_per_key(h).ok);
+
+  // Rewind the final read to the overwritten value — the footprint of a
+  // migration window that lost a cross-shard write-back: the destination
+  // shard still serves the pre-window state.
+  history::event* final_read = nullptr;
+  for (history::event& e : h) {
+    if (e.kind == history::event_kind::reply_read && e.reg == reg) final_read = &e;
+  }
+  ASSERT_NE(final_read, nullptr);
+  final_read->v = value_of_u32(7);
+
+  const auto verdict = history::check_persistent_atomicity_per_key(h);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.failing_key, reg);
+  EXPECT_FALSE(verdict.explanation.empty());
+}
+
 TEST(ShardRouter, MergedHistoryUsesDisjointGlobalProcessIds) {
   shard_router r(router_cfg(3));
   // Crash local process 0 in shards 0 and 1: the merged history must show

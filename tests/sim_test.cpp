@@ -155,6 +155,46 @@ TEST(NetworkModel, CutLinkDropsEverything) {
   EXPECT_EQ(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size(), 1u);
 }
 
+TEST(NetworkModel, CutPairSeversBothDirections) {
+  network_config cfg;
+  cfg.jitter = 0;
+  network_model net(cfg, rng(1));
+  net.cut_pair(process_id{0}, process_id{1});
+  EXPECT_TRUE(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).empty());
+  EXPECT_TRUE(net.route(0, process_id{1}, {process_id{0}}, 8, 0, 1, 1).empty());
+  // Uninvolved links unaffected.
+  EXPECT_EQ(net.route(0, process_id{0}, {process_id{2}}, 8, 0, 1, 1).size(), 1u);
+  net.restore_pair(process_id{0}, process_id{1});
+  EXPECT_EQ(net.route(0, process_id{0}, {process_id{1}}, 8, 0, 1, 1).size(), 1u);
+  EXPECT_EQ(net.route(0, process_id{1}, {process_id{0}}, 8, 0, 1, 1).size(), 1u);
+}
+
+TEST(NetworkModel, PartitionSeversExactlyCrossGroupPairs) {
+  network_config cfg;
+  cfg.jitter = 0;
+  network_model net(cfg, rng(1));
+  // {0, 1} | {2, 3, 4}: every cross-group pair dead both ways, every
+  // intra-group pair alive.
+  net.partition({{process_id{0}, process_id{1}},
+                 {process_id{2}, process_id{3}, process_id{4}}});
+  const auto delivered = [&](std::uint32_t a, std::uint32_t b) {
+    return !net.route(0, process_id{a}, {process_id{b}}, 8, 0, 1, 1).empty();
+  };
+  for (std::uint32_t a = 0; a < 5; ++a) {
+    for (std::uint32_t b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      const bool same_side = (a < 2) == (b < 2);
+      EXPECT_EQ(delivered(a, b), same_side) << a << " -> " << b;
+    }
+  }
+  net.restore_all_links();
+  for (std::uint32_t a = 0; a < 5; ++a) {
+    for (std::uint32_t b = 0; b < 5; ++b) {
+      if (a != b) EXPECT_TRUE(delivered(a, b)) << a << " -> " << b;
+    }
+  }
+}
+
 TEST(NetworkModel, FilterControlsDeliveries) {
   network_config cfg;
   cfg.jitter = 0;
@@ -264,6 +304,22 @@ TEST(FaultPlan, BlackoutCrashesEveryone) {
   EXPECT_TRUE(p.well_formed(4));
   EXPECT_TRUE(p.all_up_eventually(4));
   EXPECT_EQ(p.events.size(), 8u);
+}
+
+TEST(FaultPlan, SkewedBlackoutStaggersRecoveries) {
+  // All crash at the same instant; process i recovers at down + i * skew —
+  // the paper's "all crash at once" corner with clock-skewed restarts.
+  const fault_plan p = make_blackout_plan(4, 100, 50, 7);
+  EXPECT_TRUE(p.well_formed(4));
+  EXPECT_TRUE(p.all_up_eventually(4));
+  ASSERT_EQ(p.events.size(), 8u);
+  for (const fault_event& e : p.events) {
+    if (e.kind == fault_kind::crash) {
+      EXPECT_EQ(e.at, 100);
+    } else {
+      EXPECT_EQ(e.at, 150 + 7 * static_cast<time_ns>(e.target.index));
+    }
+  }
 }
 
 }  // namespace

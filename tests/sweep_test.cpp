@@ -141,6 +141,35 @@ TEST_P(SizeSweep, BlackoutRecoveryWhereApplicable) {
   }
 }
 
+TEST_P(SizeSweep, SkewedBlackoutMidWorkloadStaysAtomicPerKey) {
+  // The scenario engine's blackout family at sweep scale: every process down
+  // at once mid-workload, recoveries staggered per process (clock-skewed
+  // restart storm), ops submitted before, during, and after the storm.
+  if (policy().crash_stop) GTEST_SKIP() << "no recovery in the crash-stop model";
+  cluster c(config());
+  std::uint32_t v = 1;
+  const auto submit_round = [&] {
+    for (std::uint32_t p = 0; p < c.size(); ++p) {
+      c.submit_write(process_id{p}, reg(v), value_of_u32(v), c.now());
+      ++v;
+      c.submit_read(process_id{(p + 1) % c.size()}, reg(v), c.now());
+    }
+  };
+  submit_round();
+  c.apply(sim::make_blackout_plan(c.size(), c.now() + 1_ms, 5_ms, 2_ms));
+  c.run_for(2_ms);  // inside the storm
+  submit_round();
+  ASSERT_TRUE(c.run_until_idle());
+  submit_round();
+  ASSERT_TRUE(c.run_until_idle());
+  const auto crit = policy().recovery_counter ? history::criterion::transient
+                                              : history::criterion::persistent;
+  const auto verdict = history::check_atomicity_per_key(c.events(), crit);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto order = history::check_tag_order_per_key(c.tagged_operations());
+  EXPECT_TRUE(order.ok) << order.explanation;
+}
+
 std::vector<sweep_params> sweep_grid() {
   std::vector<sweep_params> grid;
   for (const std::uint32_t n : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 12u}) {
