@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "storage/corruption_injector.h"
+#include "storage/wal_format.h"
 
 namespace remus::core {
 
@@ -19,7 +21,16 @@ cluster::cluster(cluster_config cfg)
   for (std::uint32_t i = 0; i < cfg_.n; ++i) {
     all_processes_.push_back(process_id{i});
     auto nd = std::make_unique<node>(cfg_.disk);
-    nd->store = std::make_unique<storage::memory_store>();
+    if (cfg_.wal_storage) {
+      storage::wal_store_config wc;
+      wc.compact_min_bytes = cfg_.wal_compact_min_bytes;
+      auto wal = std::make_unique<storage::wal_store>(
+          std::make_unique<storage::memory_media>(), wc);
+      nd->wal = wal.get();
+      nd->store = std::move(wal);
+    } else {
+      nd->store = std::make_unique<storage::memory_store>();
+    }
     nd->core = std::make_unique<proto::quorum_core>(cfg_.policy, process_id{i}, cfg_.n,
                                                     *nd->store, rng_.next_u64());
     proto::outputs out;
@@ -62,7 +73,9 @@ bool cluster::is_ready(process_id p) const {
 
 proto::quorum_core& cluster::core_of(process_id p) { return *node_at(p).core; }
 
-storage::memory_store& cluster::store_of(process_id p) { return *node_at(p).store; }
+storage::stable_store& cluster::store_of(process_id p) { return *node_at(p).store; }
+
+storage::wal_store* cluster::wal_of(process_id p) { return node_at(p).wal; }
 
 std::uint64_t cluster::durable_stores(process_id p) const {
   return node_at(p).store->store_count();
@@ -132,9 +145,11 @@ cluster::op_handle cluster::submit_read_batch(process_id p, std::vector<register
   return h;
 }
 
-void cluster::submit_crash(process_id p, time_ns at) {
+void cluster::submit_crash(process_id p, time_ns at, crash_style style) {
   (void)node_at(p);
-  queue_.schedule_plain(std::max(at, now()), sim::event_kind::crash, p);
+  // The style rides in the event's `a` payload (POD tagged-union field).
+  queue_.schedule_plain(std::max(at, now()), sim::event_kind::crash, p,
+                        static_cast<std::uint64_t>(style));
 }
 
 void cluster::submit_recover(process_id p, time_ns at) {
@@ -232,7 +247,8 @@ void cluster::execute(sim::sim_event& ev) {
       deliver_message(ev.target, ev.msg);
       return;
     case sim::event_kind::log_done:
-      deliver_log_done(ev.target, ev.a, ev.log_key, ev.log_record, ev.incarnation);
+      deliver_log_done(ev.target, ev.a, ev.log_key, ev.log_record, ev.log_obsoletes,
+                       ev.incarnation);
       return;
     case sim::event_kind::timer:
       deliver_timer(ev.target, ev.a, ev.incarnation);
@@ -241,7 +257,9 @@ void cluster::execute(sim::sim_event& ev) {
       handle_op_dispatch(ev);
       return;
     case sim::event_kind::crash:
-      do_crash(ev.target);
+      do_crash(ev.target, ev.a == sim::no_event_arg
+                              ? crash_style::clean
+                              : static_cast<crash_style>(ev.a));
       return;
     case sim::event_kind::recover:
       do_recover(ev.target);
@@ -334,14 +352,16 @@ void cluster::deliver_message(process_id p, const proto::shared_message& mh) {
 }
 
 void cluster::deliver_log_done(process_id p, std::uint64_t token, storage::record_key key,
-                               const bytes& record, std::uint64_t incarnation) {
+                               const bytes& record,
+                               std::span<const storage::record_key> obsoletes,
+                               std::uint64_t incarnation) {
   node& nd = nd_of(p);
   if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) {
     // The process crashed while the store was in flight: under the
     // conservative durability model the record never hit the platter.
     return;
   }
-  nd.store->store(key, record);  // durability point
+  nd.store->store_and_obsolete(key, record, obsoletes);  // durability point
   outputs_lease lease(*this);
   nd.core->on_log_done(token, lease.out);
   execute_effects(p, lease.out);
@@ -382,7 +402,11 @@ void cluster::execute_effects(process_id p, proto::outputs& out) {
   node& nd = nd_of(p);
 
   for (proto::log_request& lr : out.logs) {
-    const time_ns done_at = nd.disk.issue(now(), lr.record.size() + lr.key.encoded_size());
+    // The piggybacked tombstones ride the same synchronous store; charge
+    // their key bytes against the same disk transfer.
+    std::size_t size = lr.record.size() + lr.key.encoded_size();
+    for (const storage::record_key& k : lr.obsoletes) size += k.encoded_size();
+    const time_ns done_at = nd.disk.issue(now(), size);
     ctx_of(nd, lr.ctx).busy_until = done_at;  // synchronous store blocks its thread
     if (lr.op_seq != 0) {
       node& o = nd_of(lr.origin);
@@ -393,7 +417,21 @@ void cluster::execute_effects(process_id p, proto::outputs& out) {
     } else {
       recovery_stores_ += 1;
     }
-    queue_.schedule_log_done(done_at, p, lr.token, nd.incarnation, lr.key, lr.record);
+    if (nd.wal != nullptr) {
+      // Remember the frame image this store will append, so a crash before
+      // done_at can tear exactly these bytes (do_crash).
+      nd.last_log_frame.clear();
+      storage::append_wal_frame(nd.last_log_frame, storage::wal_frame_kind::record,
+                                lr.key, lr.record);
+      for (const storage::record_key& k : lr.obsoletes) {
+        if (k == lr.key) continue;
+        storage::append_wal_frame(nd.last_log_frame,
+                                  storage::wal_frame_kind::tombstone, k, {});
+      }
+      nd.last_log_done_at = done_at;
+    }
+    queue_.schedule_log_done(done_at, p, lr.token, nd.incarnation, lr.key, lr.record,
+                             lr.obsoletes);
   }
 
   for (const proto::broadcast_request& b : out.broadcasts) {
@@ -564,7 +602,7 @@ void cluster::for_each_register_with_state(
   for (const register_id reg : regs) fn(reg);
 }
 
-void cluster::do_crash(process_id p) {
+void cluster::do_crash(process_id p, crash_style style) {
   node& nd = nd_of(p);
   if (!nd.up) return;
   nd.up = false;
@@ -573,6 +611,33 @@ void cluster::do_crash(process_id p) {
   nd.client_ctx.busy_until = 0;
   nd.listener_ctx.busy_until = 0;
   nd.disk.reset(now());
+  if (nd.wal != nullptr) {
+    // What the dying disk leaves behind. Only the non-durable tail is ever
+    // touched: fsync-acked frames are sacred, so recovery's valid prefix
+    // always contains every store the protocol was told is durable.
+    const bool mid_append =
+        nd.last_log_done_at > now() && !nd.last_log_frame.empty();
+    if (mid_append) {
+      // Cold path (crash injection): a strictly partial prefix of the
+      // in-flight frame image reached the medium.
+      bytes torn(nd.last_log_frame.begin(),
+                 nd.last_log_frame.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         rng_.next_below(nd.last_log_frame.size())));
+      if (style == crash_style::corrupt_tail && !torn.empty() && rng_.chance(0.5)) {
+        storage::flip_random_bit_after(torn, rng_, 0);
+      }
+      nd.wal->inject_tail_bytes(torn);
+    }
+    if (style == crash_style::corrupt_tail && rng_.chance(0.7)) {
+      // Stray garbage past the last durable frame (e.g. a preallocated
+      // region the crash never finished framing).
+      bytes garbage;
+      storage::append_garbage(garbage, rng_, 1 + rng_.next_below(24));
+      nd.wal->inject_tail_bytes(garbage);
+    }
+    nd.last_log_done_at = 0;
+  }
   recorder_.crash(p, now());
   if (nd.active_op) {
     // Invoked but unfinished: the op can never complete (recovery does not
@@ -600,6 +665,12 @@ void cluster::do_recover(process_id p) {
   queue_.schedule_at(now() + cfg_.recovery_read_latency, [this, p, inc] {
     node& nd2 = nd_of(p);
     if (nd2.incarnation != inc || !nd2.up) return;  // crashed again meanwhile
+    if (nd2.wal != nullptr) {
+      // Rebuild the live index from snapshot+log through the checksum
+      // scanner; a torn or corrupted tail is discarded here, before the
+      // protocol's Recover() reads a single record.
+      nd2.wal->reopen();
+    }
     outputs_lease lease(*this);
     nd2.core->recover(rng_.next_u64(), lease.out);
     execute_effects(p, lease.out);

@@ -33,6 +33,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -47,8 +48,18 @@
 #include "sim/network_model.h"
 #include "sim/sim_event.h"
 #include "storage/memory_store.h"
+#include "storage/wal_store.h"
 
 namespace remus::core {
+
+/// How a crash treats the durable medium (WAL engine only; the map store
+/// has no tail to tear). `clean` drops in-flight stores entirely; the
+/// paper's conservative model. `corrupt_tail` additionally leaves what a
+/// real dying disk leaves: a torn prefix of the in-flight frame, possibly
+/// bit-flipped, plus stray garbage after the durable bytes — recovery must
+/// stop at the damage and surface only the intact prefix. Durable
+/// (fsync-acked) bytes are never touched, so per-key atomicity must hold.
+enum class crash_style : std::uint8_t { clean = 0, corrupt_tail = 1 };
 
 class cluster final : private sim::sim_executor {
  public:
@@ -81,8 +92,11 @@ class cluster final : private sim::sim_executor {
   op_handle submit_write_batch(process_id p, std::vector<proto::write_op> ops, time_ns at);
   op_handle submit_read_batch(process_id p, std::vector<register_id> regs, time_ns at);
   /// Crash at `at`: the process loses all volatile state (pending ops cut
-  /// short, queued ops dropped) and keeps only stable storage.
-  void submit_crash(process_id p, time_ns at);
+  /// short, queued ops dropped) and keeps only stable storage. `style`
+  /// picks what the crash leaves on the WAL engine's medium (no effect on
+  /// the map store).
+  void submit_crash(process_id p, time_ns at,
+                    crash_style style = crash_style::clean);
   /// Recovery at `at`: runs the policy's Recover() procedure; the process
   /// accepts new invocations only once recovery completes (is_ready()).
   void submit_recover(process_id p, time_ns at);
@@ -142,7 +156,11 @@ class cluster final : private sim::sim_executor {
   [[nodiscard]] bool is_up(process_id p) const { return node_at(p).up; }
   [[nodiscard]] bool is_ready(process_id p) const;
   [[nodiscard]] proto::quorum_core& core_of(process_id p);
-  [[nodiscard]] storage::memory_store& store_of(process_id p);
+  [[nodiscard]] storage::stable_store& store_of(process_id p);
+  /// The WAL engine behind `p`'s stable store, or nullptr when the cluster
+  /// runs the plain map store (cfg.wal_storage == false). Corruption tests
+  /// reach the raw log image through this.
+  [[nodiscard]] storage::wal_store* wal_of(process_id p);
   [[nodiscard]] sim::network_model& network() { return net_; }
   /// Durable stable-storage writes per process (metrics).
   [[nodiscard]] std::uint64_t durable_stores(process_id p) const;
@@ -214,9 +232,16 @@ class cluster final : private sim::sim_executor {
   };
 
   struct node {
-    std::unique_ptr<storage::memory_store> store;
+    std::unique_ptr<storage::stable_store> store;
+    /// Non-null iff `store` is the WAL engine (cfg.wal_storage).
+    storage::wal_store* wal = nullptr;
     std::unique_ptr<proto::quorum_core> core;
     sim::disk_model disk;
+    /// WAL engine only: the frame image and completion time of the last
+    /// issued store, so a crash before `last_log_done_at` can leave a torn
+    /// prefix of exactly the bytes that were mid-append.
+    bytes last_log_frame;
+    time_ns last_log_done_at = 0;
     context client_ctx;
     context listener_ctx;
     bool up = true;
@@ -263,12 +288,14 @@ class cluster final : private sim::sim_executor {
   void dispatch_next_op(process_id p);
   void deliver_message(process_id p, const proto::shared_message& mh);
   void deliver_log_done(process_id p, std::uint64_t token, storage::record_key key,
-                        const bytes& record, std::uint64_t incarnation);
+                        const bytes& record,
+                        std::span<const storage::record_key> obsoletes,
+                        std::uint64_t incarnation);
   void deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation);
   void execute_effects(process_id p, proto::outputs& out);
   void route_message(process_id from, const std::vector<process_id>& tos,
                      const proto::message& m);
-  void do_crash(process_id p);
+  void do_crash(process_id p, crash_style style);
   void do_recover(process_id p);
   void finish_active_op(process_id p, const proto::op_outcome& oc);
   /// Count `n` messages against the origin's active op, if the identity

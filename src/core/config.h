@@ -27,6 +27,16 @@ struct cluster_config {
   time_ns recovery_read_latency = 400 * 1000;
   /// Seed for every random stream (network jitter, epochs).
   std::uint64_t seed = 1;
+  /// Back each process with the log-structured WAL engine
+  /// (storage::wal_store over in-memory media) instead of the plain map
+  /// store. Crashes then leave a torn frame where the in-flight store
+  /// died, recovery replays snapshot+log through the checksum scanner,
+  /// and the corrupt_tail crash style becomes meaningful. Off by default:
+  /// the map store is the zero-allocation benchmark substrate.
+  bool wal_storage = false;
+  /// WAL compaction floor (see storage::wal_store_config): sized for
+  /// simulation records, small enough that scenario runs actually compact.
+  std::size_t wal_compact_min_bytes = 8 * 1024;
 };
 
 }  // namespace remus::core

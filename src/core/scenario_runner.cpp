@@ -94,6 +94,9 @@ scenario_outcome run_scenario(const scenario_spec& spec) {
   cfg.base.policy =
       spec.policy == 't' ? proto::transient_policy() : proto::persistent_policy();
   cfg.base.seed = spec.cluster_seed;
+  // Scenario runs exercise the WAL engine so corrupt_crash has a medium to
+  // damage; throughput benchmarks keep the map store (zero-allocation path).
+  cfg.base.wal_storage = true;
   cfg.test_fault = spec.fault;
   shard_router router(cfg);
 
@@ -135,6 +138,9 @@ scenario_outcome run_scenario(const scenario_spec& spec) {
     switch (e.kind) {
       case sim::scenario_kind::crash:
         router.submit_crash(e.shard, e.target, e.at);
+        break;
+      case sim::scenario_kind::corrupt_crash:
+        router.submit_crash(e.shard, e.target, e.at, crash_style::corrupt_tail);
         break;
       case sim::scenario_kind::recover:
         router.submit_recover(e.shard, e.target, e.at);

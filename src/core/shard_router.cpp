@@ -423,8 +423,9 @@ shard_router::op_handle shard_router::submit_read_batch(process_id p,
   return idx;
 }
 
-void shard_router::submit_crash(std::uint32_t s, process_id p, time_ns at) {
-  shard(s).submit_crash(p, at);
+void shard_router::submit_crash(std::uint32_t s, process_id p, time_ns at,
+                                crash_style style) {
+  shard(s).submit_crash(p, at, style);
 }
 
 void shard_router::submit_recover(std::uint32_t s, process_id p, time_ns at) {

@@ -223,7 +223,9 @@ class shard_router final {
                                time_ns at);
   op_handle submit_read_batch(process_id p, std::vector<register_id> regs, time_ns at);
   /// Faults are per shard: crash/recover local process `p` of shard `s`.
-  void submit_crash(std::uint32_t s, process_id p, time_ns at);
+  /// `style` picks what the crash leaves on the WAL engine's medium.
+  void submit_crash(std::uint32_t s, process_id p, time_ns at,
+                    crash_style style = crash_style::clean);
   void submit_recover(std::uint32_t s, process_id p, time_ns at);
   void apply(std::uint32_t s, const sim::fault_plan& plan, time_ns offset = 0);
 

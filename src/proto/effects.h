@@ -52,6 +52,13 @@ struct log_request {
   std::uint64_t op_seq = 0;
   process_id origin;
   std::uint64_t epoch = 0;
+  /// Records made obsolete by this store, erased in the same durable step
+  /// (stable_store::store_and_obsolete). The paper's "writing record
+  /// obsolete" compaction: a writer's next pre-log piggybacks the
+  /// obsolescence of its settled predecessors, so recovery replay tracks
+  /// the live write set, not every register ever pre-logged. Drivers must
+  /// treat key ordering as irrelevant and entries equal to `key` as inert.
+  std::vector<storage::record_key> obsoletes;
 };
 
 struct timer_request {

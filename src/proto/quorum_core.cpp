@@ -231,7 +231,7 @@ void quorum_core::invoke_read_batch(const std::vector<register_id>& regs, output
 }
 
 void quorum_core::emit_prelog(register_id reg, const tag& ts, const value& val,
-                              outputs& out) {
+                              bool lead, outputs& out) {
   // Paper Fig. 4 line 12: store(writing, sn, v) — the first causal log.
   log_request& lr = out.logs.emplace_slot();  // recycled: every field assigned
   lr.key = writing_key_of(reg);
@@ -242,6 +242,13 @@ void quorum_core::emit_prelog(register_id reg, const tag& ts, const value& val,
   lr.op_seq = cl_.op_seq;
   lr.origin = self_;
   lr.epoch = epoch_;
+  lr.obsoletes.clear();
+  if (lead) {
+    // Piggyback the settled predecessors' obsolescence on the batch's lead
+    // pre-log: same durable step, zero extra stores.
+    lr.obsoletes.swap(obsolete_prelogs_);
+    obsolete_prelogs_.clear();
+  }
   pending_log& pl = pending_logs_[lr.token];
   pl = pending_log{};
   pl.k = pending_log::kind::writer_prelog;
@@ -249,17 +256,46 @@ void quorum_core::emit_prelog(register_id reg, const tag& ts, const value& val,
   cl_.prelogs_pending += 1;
 }
 
+void quorum_core::mark_prelogs_obsolete() {
+  // Only meaningful when pre-logs exist, and only sound when tags come from
+  // a query round: the query majority intersects the settled write's
+  // durable majority, so the sequence number is safely re-derived after a
+  // crash. Single-writer variants mint tags from the local wsn_ restored
+  // from these very records — erasing them could resurrect a duplicate tag.
+  if (!pol_.writer_prelog || !pol_.write_query_round || cl_.is_read) return;
+  if (cl_.is_batch) {
+    for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+      obsolete_prelogs_.push_back(writing_key_of(cl_.batch[i].reg));
+    }
+  } else {
+    obsolete_prelogs_.push_back(writing_key_of(cl_.reg));
+  }
+}
+
 void quorum_core::proceed_after_query(outputs& out) {
   if (pol_.writer_prelog && !pol_.crash_stop) {
     cl_.phase = phase_kind::write_prelog;
+    // A register this operation is about to pre-log again needs no
+    // tombstone — the fresh (writing) record overwrites the same key, and
+    // a tombstone ordered after it in the same batch would erase it.
+    std::erase_if(obsolete_prelogs_, [&](const storage::record_key& k) {
+      if (cl_.is_batch) {
+        for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+          if (k.reg == cl_.batch[i].reg) return true;
+        }
+        return false;
+      }
+      return k.reg == cl_.reg;
+    });
     if (cl_.is_batch) {
       // One (writing) record per register; the stores are concurrent, so
       // they count one causal-log step for the whole batch.
       for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
-        emit_prelog(cl_.batch[i].reg, cl_.batch[i].pending_tag, cl_.batch[i].payload, out);
+        emit_prelog(cl_.batch[i].reg, cl_.batch[i].pending_tag, cl_.batch[i].payload,
+                    i == 0, out);
       }
     } else {
-      emit_prelog(cl_.reg, cl_.pending_tag, cl_.payload, out);
+      emit_prelog(cl_.reg, cl_.pending_tag, cl_.payload, true, out);
     }
   } else {
     begin_update_round(out);
@@ -491,6 +527,12 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
       break;
     }
     case phase_kind::write_update:
+      // The write is settled at a majority: its (writing) records are now
+      // recovery dead weight — queue them for the next pre-log's
+      // piggybacked erasure.
+      mark_prelogs_obsolete();
+      finish_operation(out);
+      break;
     case phase_kind::read_update:
       finish_operation(out);
       break;
@@ -551,6 +593,7 @@ void quorum_core::serve_update(const message& m, outputs& out) {
       lr.op_seq = m.op_seq;
       lr.origin = m.from;
       lr.epoch = m.epoch;
+      lr.obsoletes.clear();
       pending_log& pl = pending_logs_[lr.token];
       pl = pending_log{};
       pl.k = pending_log::kind::server_adopt;
@@ -598,6 +641,7 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
     lr.op_seq = m.op_seq;
     lr.origin = m.from;
     lr.epoch = m.epoch;
+    lr.obsoletes.clear();
     pending_log& pl = pending_logs_[lr.token];
     pl = pending_log{};
     pl.k = pending_log::kind::server_adopt;
@@ -900,6 +944,7 @@ void quorum_core::crash() {
   cl_ = client_state{};
   pending_logs_.clear();
   batch_acks_.clear();
+  obsolete_prelogs_.clear();
   // branches_ deliberately survives: it is a whole-run coverage diagnostic,
   // not protocol state, and zeroing it on crash would erase everything a
   // blackout-heavy schedule observed.
@@ -968,6 +1013,13 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
                       // this a recovered writer could mint a duplicate tag
                       // for a different value and the write would vanish).
                       wsn_ = std::max(wsn_, pend.back().second.ts.sn);
+                      // The finish-write round will settle these records at
+                      // a majority before any invocation resumes, so they
+                      // can be erased by the next pre-log (same soundness
+                      // gate as mark_prelogs_obsolete: query-round tags).
+                      if (pol_.write_query_round) {
+                        obsolete_prelogs_.push_back(writing_key_of(reg));
+                      }
                     });
     cl_.reset();
     cl_.op_seq = ++op_counter_;

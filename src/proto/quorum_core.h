@@ -332,7 +332,11 @@ class quorum_core final : public register_core {
   batch_slot& claim_slot(std::uint32_t i, register_id r);
   /// Live slot for register `r` of the in-flight batch (nullptr if absent).
   [[nodiscard]] batch_slot* find_slot(register_id r);
-  void emit_prelog(register_id reg, const tag& ts, const value& val, outputs& out);
+  void emit_prelog(register_id reg, const tag& ts, const value& val, bool lead,
+                   outputs& out);
+  /// Queues the settled write's (writing) records for piggybacked erasure
+  /// on the next pre-log (the paper's "writing record obsolete" note).
+  void mark_prelogs_obsolete();
 
   const protocol_policy pol_;
   const process_id self_;
@@ -348,6 +352,13 @@ class quorum_core final : public register_core {
   client_state cl_;
   flat_hash_map<std::uint64_t, pending_log, token_hash> pending_logs_;
   flat_hash_map<std::uint64_t, batch_ack, token_hash> batch_acks_;
+  /// (writing) records whose write has settled at a majority: dead weight
+  /// for recovery, erased via the NEXT pre-log's store_and_obsolete batch.
+  /// Volatile by design — losing the list merely delays compaction, never
+  /// correctness. Only populated under write_query_round policies: a
+  /// single-writer core re-derives its counter from these records at
+  /// recovery, so there they must outlive the write (see invoke_write).
+  std::vector<storage::record_key> obsolete_prelogs_;
   branch_stats branches_;
   std::uint64_t op_counter_ = 0;
   std::uint64_t next_token_ = 1;

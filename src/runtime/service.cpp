@@ -1,8 +1,8 @@
 #include "runtime/service.h"
 
 #include "common/error.h"
-#include "storage/file_store.h"
 #include "storage/memory_store.h"
+#include "storage/wal_store.h"
 
 namespace remus::runtime {
 
@@ -13,8 +13,13 @@ service::service(service_options opt) : opt_(std::move(opt)) {
   nodes_.reserve(opt_.n);
   for (std::uint32_t i = 0; i < opt_.n; ++i) {
     if (opt_.durable_dir) {
-      stores_.push_back(
-          std::make_unique<storage::file_store>(*opt_.durable_dir / std::to_string(i)));
+      // The WAL engine over fsync'd files: one append (and one fsync) per
+      // store instead of a file per record, with snapshot compaction
+      // bounding recovery replay and CRC-framed records containing a torn
+      // tail to the in-flight suffix.
+      stores_.push_back(std::make_unique<storage::wal_store>(
+          std::make_unique<storage::file_media>(*opt_.durable_dir /
+                                                std::to_string(i))));
     } else {
       stores_.push_back(std::make_unique<storage::memory_store>());
     }

@@ -22,8 +22,9 @@ struct service_options {
   proto::protocol_policy policy = proto::persistent_policy();
   transport_options net{};
   node_options node{};
-  /// When set, stable storage is fsync'd files under dir/<process-index>/
-  /// (the paper's synchronous-file logging); otherwise in-memory stores.
+  /// When set, stable storage is the WAL engine over fsync'd files under
+  /// dir/<process-index>/ (the paper's synchronous logging discipline with
+  /// a log-structured layout); otherwise in-memory stores.
   std::optional<std::filesystem::path> durable_dir;
   std::uint64_t seed = 1;
 };

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -73,11 +74,14 @@ class event_queue {
   }
 
   /// log_done: completion `tok` for `target`, guarded by `incarnation`.
-  /// The record is copied into the slot's retained buffer (the caller's
-  /// buffer is a recycled effect slot — both sides keep their capacity).
+  /// The record (and the piggybacked obsolete-key list) is copied into the
+  /// slot's retained buffers (the caller's buffer is a recycled effect
+  /// slot — both sides keep their capacity). `obsoletes` must be assigned
+  /// even when empty: retired slots keep stale contents.
   token schedule_log_done(time_ns at, process_id target, std::uint64_t tok,
                           std::uint64_t incarnation, storage::record_key key,
-                          const bytes& record) {
+                          const bytes& record,
+                          std::span<const storage::record_key> obsoletes = {}) {
     const auto [idx, s] = acquire_slot(at);
     s->ev.kind = event_kind::log_done;
     s->ev.target = target;
@@ -85,6 +89,7 @@ class event_queue {
     s->ev.incarnation = incarnation;
     s->ev.log_key = key;
     s->ev.log_record = record;
+    s->ev.log_obsoletes.assign(obsoletes.begin(), obsoletes.end());
     return commit(at, idx);
   }
 

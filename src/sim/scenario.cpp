@@ -14,6 +14,7 @@ const char* to_string(fault_family f) {
     case fault_family::partition: return "partition";
     case fault_family::gray_link: return "gray_link";
     case fault_family::migration: return "migration";
+    case fault_family::corrupt_tail: return "corrupt_tail";
   }
   return "?";
 }
@@ -39,10 +40,11 @@ bool scenario_plan::well_formed() const {
     if (e.shard >= shards) return false;
     switch (e.kind) {
       case scenario_kind::crash:
+      case scenario_kind::corrupt_crash:
       case scenario_kind::recover: {
         if (!e.target.valid() || e.target.index >= n) return false;
         const std::size_t i = static_cast<std::size_t>(e.shard) * n + e.target.index;
-        const bool crashing = e.kind == scenario_kind::crash;
+        const bool crashing = e.kind != scenario_kind::recover;
         if (down[i] == crashing) return false;  // double crash / spurious recover
         down[i] = crashing;
         break;
@@ -152,7 +154,7 @@ scenario_plan decode_plan(const std::string& line) {
     if (f.size() != 10) throw std::invalid_argument("scenario: bad event " + parts[i]);
     scenario_event e;
     const std::uint64_t kind = parse_u64(f[0]);
-    if (kind > static_cast<std::uint64_t>(scenario_kind::begin_migration)) {
+    if (kind > static_cast<std::uint64_t>(scenario_kind::corrupt_crash)) {
       throw std::invalid_argument("scenario: bad event kind");
     }
     e.kind = static_cast<scenario_kind>(kind);
@@ -349,13 +351,18 @@ scenario_plan make_adversarial_plan(const adversarial_config& cfg, rng& r,
       const time_ns at = r.next_in(0, cfg.horizon);
       const std::uint32_t shard = static_cast<std::uint32_t>(r.next_below(cfg.shards));
       switch (family) {
-        case fault_family::crash_recover: {
+        case fault_family::crash_recover:
+        case fault_family::corrupt_tail: {
+          // Same unit shape (crash then recover); corrupt_tail's crash
+          // additionally mangles the WAL tail at the driver.
           const process_id p{static_cast<std::uint32_t>(r.next_below(cfg.n))};
           const std::size_t slot = static_cast<std::size_t>(shard) * cfg.n + p.index;
           if (down_until[slot] >= at) break;  // already down around this time
           const time_ns up_at = at + duration() + 1;
-          plan.events.push_back(
-              timed_event(at, scenario_kind::crash, family, unit, shard, p));
+          const scenario_kind down_kind = family == fault_family::corrupt_tail
+                                              ? scenario_kind::corrupt_crash
+                                              : scenario_kind::crash;
+          plan.events.push_back(timed_event(at, down_kind, family, unit, shard, p));
           plan.events.push_back(
               timed_event(up_at, scenario_kind::recover, family, unit, shard, p));
           down_until[slot] = up_at;
@@ -497,7 +504,9 @@ scenario_plan minimize_plan(const scenario_plan& failing, const plan_predicate& 
     changed = false;
     for (std::size_t i = 0; i < cur.events.size(); ++i) {
       const scenario_event& c = cur.events[i];
-      if (c.kind != scenario_kind::crash) continue;
+      if (c.kind != scenario_kind::crash && c.kind != scenario_kind::corrupt_crash) {
+        continue;
+      }
       // Matching recover: the next recover of the same (shard, process).
       std::size_t match = cur.events.size();
       for (std::size_t j = i + 1; j < cur.events.size(); ++j) {

@@ -19,6 +19,9 @@
 //   * begin_migration  — opens a live-rebalancing window (S -> S+1) at a
 //                        planned instant, so every other family can land
 //                        inside the dual-ring migration window.
+//   * corrupt_crash    — a crash that damages the WAL tail: torn in-flight
+//                        frame, bit flips, stray garbage past the durable
+//                        bytes (storage corruption meets protocol recovery).
 //
 // Validity (`well_formed`) generalizes fault_plan's alternation rule: every
 // crash has a later recover, every cut/gray a later heal, at most one
@@ -54,8 +57,9 @@ enum class fault_family : std::uint8_t {
   partition = 2,
   gray_link = 3,
   migration = 4,
+  corrupt_tail = 5,  // crash that damages the WAL tail (corrupt_crash)
 };
-inline constexpr std::size_t fault_family_count = 5;
+inline constexpr std::size_t fault_family_count = 6;
 [[nodiscard]] const char* to_string(fault_family f);
 
 enum class scenario_kind : std::uint8_t {
@@ -65,6 +69,11 @@ enum class scenario_kind : std::uint8_t {
   heal = 3,     // restore every link of `shard` (cuts and gray links)
   gray = 4,     // degrade directed link target -> peer of `shard`
   begin_migration = 5,  // open the S -> S+1 migration window
+  /// Crash that additionally corrupts the durable medium's non-durable
+  /// tail (torn in-flight frame, bit flips, stray garbage — see
+  /// core::crash_style::corrupt_tail). Alternates with `recover` exactly
+  /// like `crash`; meaningful only when the run uses the WAL engine.
+  corrupt_crash = 6,
 };
 
 struct scenario_event {
@@ -158,7 +167,7 @@ struct adversarial_config {
   /// Relative weight of each fault family (index = fault_family). A zero
   /// weight disables the family; migration is additionally capped at one
   /// unit per plan.
-  double weights[fault_family_count] = {1.0, 1.0, 1.0, 1.0, 1.0};
+  double weights[fault_family_count] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
   /// Blackout storms: per-process recovery skew U[0, recovery_skew] on top
   /// of the common downtime (clock-skewed recovery storms).
   time_ns recovery_skew = 2 * 1000 * 1000;

@@ -51,6 +51,8 @@ struct sim_event {
   proto::shared_message msg{};               // message
   storage::record_key log_key{};             // log_done (trivially copyable)
   bytes log_record{};                        // log_done
+  /// log_done: keys erased in the same durable step (store_and_obsolete).
+  std::vector<storage::record_key> log_obsoletes{};
   std::function<void()> fn{};                // thunk
 };
 

@@ -1,0 +1,45 @@
+#include "storage/corruption_injector.h"
+
+#include <algorithm>
+
+#include "storage/wal_format.h"
+
+namespace remus::storage {
+
+void flip_bit(bytes& log, std::size_t byte, unsigned bit) {
+  if (byte >= log.size()) return;
+  log[byte] ^= static_cast<std::uint8_t>(1u << (bit & 7u));
+}
+
+void truncate_log(bytes& log, std::size_t size) {
+  if (size < log.size()) log.resize(size);
+}
+
+void tear_final_frame(bytes& log, std::size_t frame_size, std::size_t keep) {
+  const std::size_t frame = std::min(frame_size, log.size());
+  const std::size_t drop = frame - std::min(keep, frame);
+  log.resize(log.size() - drop);
+}
+
+void append_garbage(bytes& log, rng& r, std::size_t count) {
+  log.reserve(log.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    log.push_back(static_cast<std::uint8_t>(r.next_below(256)));
+  }
+}
+
+void flip_random_bit_after(bytes& log, rng& r, std::size_t begin) {
+  if (begin >= log.size()) return;
+  const std::size_t byte = begin + r.next_below(log.size() - begin);
+  flip_bit(log, byte, static_cast<unsigned>(r.next_below(8)));
+}
+
+std::vector<std::size_t> frame_offsets(std::span<const std::uint8_t> log) {
+  std::vector<std::size_t> offsets;
+  const wal_scan_result r =
+      scan_wal(log, [&](const wal_frame& f) { offsets.push_back(f.offset); });
+  offsets.push_back(r.consumed);
+  return offsets;
+}
+
+}  // namespace remus::storage

@@ -1,0 +1,51 @@
+// Deterministic corruption primitives for WAL images.
+//
+// Tests and the scenario engine share these: the unit-level corruption
+// matrix flips each byte / truncates at each offset, the simulator's
+// `corrupt_tail` crash style tears the in-flight frame and sprays garbage
+// after the durable prefix, and the fuzz harness composes them randomly.
+// Everything operates on a raw byte image (the log as a `bytes`), so the
+// same mutations apply to the in-memory media of the simulator and to a
+// log file read back from disk. All randomness comes from a caller-owned
+// rng — same seed, same mutation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace remus::storage {
+
+/// Flips one bit: `log[byte] ^= (1 << bit)`. Out-of-range offsets are a
+/// no-op (matrix tests iterate blindly over candidate offsets).
+void flip_bit(bytes& log, std::size_t byte, unsigned bit);
+
+/// Truncates the image to `size` bytes (no-op if already shorter) — a
+/// crash that lost the tail of the medium.
+void truncate_log(bytes& log, std::size_t size);
+
+/// Keeps only the first `keep` bytes of the final `frame_size` bytes: the
+/// classic torn append, where the crash landed mid-frame. `keep` is
+/// clamped to the frame.
+void tear_final_frame(bytes& log, std::size_t frame_size, std::size_t keep);
+
+/// Appends `count` random bytes — stray garbage after the last durable
+/// frame (e.g. a preallocated region the crash never finished framing).
+void append_garbage(bytes& log, rng& r, std::size_t count);
+
+/// Flips a random bit within [begin, log.size()): used to corrupt only the
+/// non-durable tail region. No-op when the range is empty.
+void flip_random_bit_after(bytes& log, rng& r, std::size_t begin);
+
+/// Byte offsets where each intact frame starts, plus the end offset of the
+/// valid prefix as the final element. A log with k intact frames yields
+/// k + 1 offsets; matrix tests target "the final frame" as
+/// [offsets[k-1], offsets[k]).
+[[nodiscard]] std::vector<std::size_t> frame_offsets(
+    std::span<const std::uint8_t> log);
+
+}  // namespace remus::storage

@@ -76,6 +76,17 @@ std::optional<record_key> parse_file_name(const std::string& name) {
 file_store::file_store(std::filesystem::path dir, bool fsync_enabled)
     : dir_(std::move(dir)), fsync_enabled_(fsync_enabled) {
   std::filesystem::create_directories(dir_);
+  // Crash hygiene: a crash between tmp-write and rename leaves a ".tmp"
+  // that parse_file_name ignores but that would otherwise accumulate
+  // forever (and a later crash mid-rename could expose). Sweep them before
+  // serving any reads.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  if (fsync_enabled_) sync_dir(dir_);
 }
 
 std::filesystem::path file_store::path_of(record_key key) const {
@@ -128,6 +139,9 @@ void file_store::wipe() {
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     std::filesystem::remove_all(entry.path(), ec);
   }
+  // A wipe is a durability promise too: the unlinks must survive a crash,
+  // or a "fresh" process could resurrect pre-wipe records.
+  if (fsync_enabled_) sync_dir(dir_);
 }
 
 }  // namespace remus::storage

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "common/ids.h"
@@ -67,6 +68,24 @@ class stable_store {
 
   /// Durably store `record` under `key`, replacing any previous record.
   virtual void store(record_key key, const bytes& record) = 0;
+
+  /// Durably store `record` under `key` and, in the same durable step,
+  /// mark every key in `obsolete` as erased. This is the paper's "writing
+  /// record obsolete" compaction hook: a writer's next pre-log piggybacks
+  /// the obsolescence of its finished predecessors, so recovery replay
+  /// stops growing with the number of registers ever written. Entries
+  /// equal to `key` are ignored (the fresh record wins). The default
+  /// implementation decomposes into store() + erase() calls — correct but
+  /// one durable round-trip each; log-structured backends override it to
+  /// batch everything into one append.
+  virtual void store_and_obsolete(record_key key, const bytes& record,
+                                  std::span<const record_key> obsolete) {
+    store(key, record);
+    for (const record_key& k : obsolete) {
+      if (k == key) continue;
+      erase(k);
+    }
+  }
 
   /// Fetch the last record stored under `key`, if any.
   [[nodiscard]] virtual std::optional<bytes> retrieve(record_key key) const = 0;

@@ -1,0 +1,140 @@
+#include "storage/wal_format.h"
+
+#include <array>
+
+namespace remus::storage {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crc32_table = make_crc32_table();
+
+void put_u32(bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+bool valid_area(std::uint8_t a) {
+  return a == static_cast<std::uint8_t>(record_area::writing) ||
+         a == static_cast<std::uint8_t>(record_area::written) ||
+         a == static_cast<std::uint8_t>(record_area::recovered);
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) noexcept {
+  for (std::uint8_t b : data) {
+    state = crc32_table[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_of(std::span<const std::uint8_t> data) noexcept {
+  return crc32_final(crc32_update(crc32_init, data));
+}
+
+void append_wal_frame(bytes& out, wal_frame_kind kind, record_key key,
+                      std::span<const std::uint8_t> payload) {
+  const std::size_t start = out.size();
+  const std::size_t len = wal_frame_overhead - 4 + payload.size();
+  out.reserve(start + len + 4);
+  put_u32(out, static_cast<std::uint32_t>(len));
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(static_cast<std::uint8_t>(key.area));
+  put_u32(out, key.reg);
+  out.insert(out.end(), payload.begin(), payload.end());
+  // CRC over everything appended so far (length field + body).
+  const std::uint32_t crc =
+      crc32_of(std::span<const std::uint8_t>(out.data() + start, out.size() - start));
+  put_u32(out, crc);
+}
+
+std::string to_string(wal_scan_stop s) {
+  switch (s) {
+    case wal_scan_stop::clean_end: return "clean_end";
+    case wal_scan_stop::torn_frame: return "torn_frame";
+    case wal_scan_stop::bad_crc: return "bad_crc";
+    case wal_scan_stop::bad_frame: return "bad_frame";
+  }
+  return "unknown";
+}
+
+wal_scan_result scan_wal(std::span<const std::uint8_t> log,
+                         const std::function<void(const wal_frame&)>& fn) {
+  wal_scan_result r;
+  std::size_t at = 0;
+  while (at < log.size()) {
+    // A partial length field is itself a torn frame (crash during the very
+    // first bytes of an append).
+    if (log.size() - at < 4) {
+      r.stop = wal_scan_stop::torn_frame;
+      break;
+    }
+    const std::uint32_t len = get_u32(log, at);
+    if (len < wal_frame_overhead - 4) {
+      r.stop = wal_scan_stop::bad_frame;
+      break;
+    }
+    if (len > log.size() - at - 4) {
+      r.stop = wal_scan_stop::torn_frame;
+      break;
+    }
+    const std::size_t frame_size = static_cast<std::size_t>(len) + 4;
+    const std::uint32_t stored_crc = get_u32(log, at + frame_size - 4);
+    const std::uint32_t computed =
+        crc32_of(log.subspan(at, frame_size - 4));
+    if (stored_crc != computed) {
+      r.stop = wal_scan_stop::bad_crc;
+      break;
+    }
+    const std::uint8_t kind = log[at + 4];
+    const std::uint8_t area = log[at + 5];
+    const bool kind_ok = kind == static_cast<std::uint8_t>(wal_frame_kind::record) ||
+                         kind == static_cast<std::uint8_t>(wal_frame_kind::tombstone);
+    const std::size_t payload_size = frame_size - wal_frame_overhead;
+    const bool shape_ok =
+        kind_ok && valid_area(area) &&
+        (kind != static_cast<std::uint8_t>(wal_frame_kind::tombstone) ||
+         payload_size == 0);
+    if (!shape_ok) {
+      r.stop = wal_scan_stop::bad_frame;
+      break;
+    }
+    if (fn) {
+      wal_frame f;
+      f.kind = static_cast<wal_frame_kind>(kind);
+      f.key = record_key{static_cast<record_area>(area), get_u32(log, at + 6)};
+      f.payload = log.subspan(at + 10, payload_size);
+      f.offset = at;
+      f.size = frame_size;
+      fn(f);
+    }
+    at += frame_size;
+    r.frames += 1;
+  }
+  r.consumed = at;
+  return r;
+}
+
+}  // namespace remus::storage

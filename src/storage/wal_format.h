@@ -1,0 +1,101 @@
+// WAL frame codec: the on-media format of the append-only log engine.
+//
+// Every durable mutation is one self-checking frame:
+//
+//   [u32 len][u8 kind][u8 area][u32 reg][payload...][u32 crc32]
+//
+// `len` counts every byte after the length field (kind through crc32
+// inclusive), so a frame occupies len + 4 bytes and the minimum frame
+// (empty payload) is wal_frame_overhead = 14 bytes. The CRC32 (IEEE
+// reflected, the zlib/ethernet polynomial) covers the length field and
+// the body — a frame whose length field was bitten by corruption fails
+// its checksum instead of misleading the scanner into a bogus resync.
+//
+// Recovery scans the log front to back and stops at the first frame that
+// is torn (extends past the end of the medium), fails its CRC, or carries
+// an impossible header. Everything before the stop point is the valid
+// prefix; everything after is discarded. A crash mid-append therefore
+// loses at most the in-flight suffix — never an already-fsynced frame —
+// which is exactly the conservative crash model the simulator's disk
+// charges for.
+//
+// All integers are little-endian fixed-width, matching common/codec.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/value.h"
+#include "storage/stable_store.h"
+
+namespace remus::storage {
+
+/// What a frame means to the replaying index.
+enum class wal_frame_kind : std::uint8_t {
+  record = 1,     // (key, payload) replaces any previous record for key
+  tombstone = 2,  // key's record is obsolete; payload must be empty
+};
+
+/// Fixed bytes around the payload: len(4) + kind(1) + area(1) + reg(4) +
+/// crc(4).
+inline constexpr std::size_t wal_frame_overhead = 14;
+
+/// Bytes of a full frame carrying `payload_size` payload bytes.
+[[nodiscard]] constexpr std::size_t wal_frame_size(std::size_t payload_size) noexcept {
+  return wal_frame_overhead + payload_size;
+}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the zlib `crc32`.
+/// Seeded/finalized internally: crc32_of("123456789") == 0xCBF43926.
+[[nodiscard]] std::uint32_t crc32_of(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental form for split buffers; start from crc32_init and finish
+/// with crc32_final.
+inline constexpr std::uint32_t crc32_init = 0xFFFFFFFFu;
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// Appends one framed record to `out` (existing contents untouched).
+void append_wal_frame(bytes& out, wal_frame_kind kind, record_key key,
+                      std::span<const std::uint8_t> payload);
+
+/// One decoded frame, viewing the scanned buffer (no payload copy).
+struct wal_frame {
+  wal_frame_kind kind = wal_frame_kind::record;
+  record_key key{};
+  std::span<const std::uint8_t> payload{};
+  std::size_t offset = 0;  // byte offset of the frame's length field
+  std::size_t size = 0;    // total frame bytes (len + 4)
+};
+
+/// Why a scan stopped where it did.
+enum class wal_scan_stop : std::uint8_t {
+  clean_end = 0,   // consumed the whole buffer, every frame intact
+  torn_frame = 1,  // final frame extends past the end (crash mid-append)
+  bad_crc = 2,     // checksum mismatch (bit rot or a torn header)
+  bad_frame = 3,   // impossible header: undersized len, unknown kind/area,
+                   // or a tombstone carrying payload
+};
+
+[[nodiscard]] std::string to_string(wal_scan_stop s);
+
+struct wal_scan_result {
+  wal_scan_stop stop = wal_scan_stop::clean_end;
+  std::size_t consumed = 0;  // bytes of valid prefix (frame-aligned)
+  std::uint64_t frames = 0;  // intact frames delivered to the callback
+};
+
+/// Scans `log` front to back, invoking `fn` for each intact frame, and
+/// stops at the first torn/corrupt/impossible frame. Never throws on any
+/// input: arbitrary garbage classifies as one of the stop reasons. `fn`
+/// may be empty (pure validation).
+wal_scan_result scan_wal(std::span<const std::uint8_t> log,
+                         const std::function<void(const wal_frame&)>& fn);
+
+}  // namespace remus::storage

@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "history/atomicity.h"
 #include "runtime/service.h"
+#include "storage/wal_store.h"
 
 namespace remus::runtime {
 namespace {
@@ -158,8 +159,18 @@ TEST(RuntimeDurableFiles, StateSurvivesOnDisk) {
     s.recover(process_id{1});
     EXPECT_EQ(s.read(process_id{1}), value_of_u32(77));
   }
-  // The (written) records really are files on disk.
-  EXPECT_TRUE(std::filesystem::exists(dir / "0" / "written"));
+  // The records really are on disk: each process owns a WAL directory, and
+  // the storage engine alone (no protocol, no fresh install overwriting the
+  // records) recovers the written register's record from it.
+  EXPECT_TRUE(std::filesystem::exists(dir / "0" / "wal.log"));
+  {
+    storage::wal_store st(std::make_unique<storage::file_media>(dir / "0", false));
+    const auto rec = st.retrieve(
+        {storage::record_area::written, default_register});
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_FALSE(rec->empty());
+    EXPECT_EQ(st.last_recovery().log_stop, storage::wal_scan_stop::clean_end);
+  }
   std::filesystem::remove_all(dir, ec);
 }
 

@@ -5,8 +5,11 @@
 // caught and delta-debugged to a tiny repro.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -453,6 +456,44 @@ TEST(ScenarioFuzz, PlantedHandoffBugIsCaughtAndMinimized) {
   const scenario_outcome again = run_scenario(back);
   EXPECT_FALSE(again.ok());
   EXPECT_EQ(again.failure, run_scenario(min).failure);
+}
+
+// ---------- Regression corpus ----------
+
+TEST(ScenarioFuzz, RegressionCorpusReplaysClean) {
+  // Every repro line under tests/corpus/ re-runs under the full checkers —
+  // the corpus pins schedules that once mattered (corrupt-tail crashes,
+  // fault-family overlaps, migration-window corruption) so they can never
+  // silently regress. The fuzz_scenarios --corpus flag replays the same
+  // files in CI with the campaign digest.
+  const std::filesystem::path dir =
+      std::filesystem::path(REMUS_SOURCE_DIR) / "tests" / "corpus";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& ent : std::filesystem::directory_iterator(dir)) {
+    if (ent.path().extension() == ".repro") files.push_back(ent.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 3u);
+  std::size_t replayed = 0;
+  std::size_t corrupt_units = 0;
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const scenario_spec spec = scenario_spec::decode(line);
+      for (const sim::scenario_event& e : spec.plan.events) {
+        corrupt_units += e.kind == sim::scenario_kind::corrupt_crash ? 1 : 0;
+      }
+      const scenario_outcome out = run_scenario(spec);
+      EXPECT_TRUE(out.ok()) << file.filename() << ": " << out.failure
+                            << "\nREPRO " << line;
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 5u);
+  EXPECT_GT(corrupt_units, 0u) << "corpus lost its corrupt_tail coverage";
 }
 
 TEST(ScenarioFuzz, CleanMigrationWindowUnderSameScheduleIsAtomic) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <utility>
 #include <vector>
 
@@ -97,6 +98,24 @@ TEST(MemoryStore, EmptyRecordAllowed) {
   EXPECT_TRUE(st.retrieve(written0)->empty());
 }
 
+template <typename Store>
+void exercise_store_and_obsolete(Store& st) {
+  // The stable_store default decomposes into store() + erase(); entries
+  // equal to the stored key are inert, absent keys are no-ops.
+  st.store(writing0, b({1}));
+  st.store(written7, b({2}));
+  const record_key obsolete[] = {writing0, written7, written0, recovered};
+  static_cast<stable_store&>(st).store_and_obsolete(written0, b({5}), obsolete);
+  EXPECT_EQ(*st.retrieve(written0), b({5}));
+  EXPECT_FALSE(st.retrieve(writing0).has_value());
+  EXPECT_FALSE(st.retrieve(written7).has_value());
+}
+
+TEST(MemoryStore, StoreAndObsoleteDefaultDecomposes) {
+  memory_store st;
+  exercise_store_and_obsolete(st);
+}
+
 class FileStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -163,6 +182,26 @@ TEST_F(FileStoreTest, WipeRemovesFiles) {
   st.wipe();
   EXPECT_FALSE(st.retrieve(written0).has_value());
   EXPECT_FALSE(st.retrieve(written7).has_value());
+}
+
+TEST_F(FileStoreTest, StoreAndObsoleteDefaultDecomposes) {
+  file_store st(dir_, false);
+  exercise_store_and_obsolete(st);
+}
+
+TEST_F(FileStoreTest, StrayTmpFilesAreSweptAtConstruction) {
+  // A crash between tmp-write and rename leaves "<record>.tmp"; the next
+  // start must remove it so it can never shadow or resurrect a record.
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream f(dir_ / "written-0.tmp");
+    f << "half-written record from a crashed store";
+  }
+  file_store st(dir_, false);
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "written-0.tmp"));
+  EXPECT_FALSE(st.retrieve(written0).has_value());
+  st.store(written0, b({1}));
+  EXPECT_EQ(*st.retrieve(written0), b({1}));
 }
 
 TEST_F(FileStoreTest, LargeRecordRoundTrip) {

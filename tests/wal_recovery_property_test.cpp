@@ -1,0 +1,397 @@
+// Kill-and-recover property tests for the WAL engine.
+//
+// Store level: a scripted op sequence is killed at EVERY store boundary —
+// clean (the durable image exactly at the boundary), torn (a strict prefix
+// of the next op's in-flight frames appended), and corrupt (the torn prefix
+// bit-flipped, or stray garbage after the durable bytes). Recovery from the
+// damaged image must land on the boundary state plus some frame-aligned
+// prefix of the in-flight append: a single-frame store is lost whole or kept
+// whole, a store_and_obsolete batch can surface its record without some of
+// its trailing tombstones (safe — tombstones are pure compaction, and the
+// record always precedes them), and no frame is ever half-applied nor any
+// checksum-failing bytes surfaced (per-key atomicity at the storage layer).
+//
+// Cluster level: seeded simulated runs under corrupt_tail crashes, checked
+// with the same history/keyed and tag-order checkers the scenario fuzzer
+// uses, plus a quiesced audit read of every key — and a bounded-recovery
+// assertion that replay I/O tracks live state, not the number of stores
+// ever issued.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "core/cluster.h"
+#include "core/scenario_runner.h"
+#include "history/keyed.h"
+#include "history/tag_order.h"
+#include "sim/scenario.h"
+#include "storage/corruption_injector.h"
+#include "storage/wal_format.h"
+#include "storage/wal_store.h"
+
+namespace remus::storage {
+namespace {
+
+struct key_less {
+  bool operator()(record_key a, record_key b) const {
+    if (a.area != b.area) return a.area < b.area;
+    return a.reg < b.reg;
+  }
+};
+using model_map = std::map<record_key, bytes, key_less>;
+
+model_map state_of(wal_store& st) {
+  model_map out;
+  for (record_area area : {record_area::writing, record_area::written,
+                           record_area::recovered}) {
+    st.for_each(area, [&](register_id reg, const bytes& v) {
+      out[{area, reg}] = v;
+    });
+  }
+  return out;
+}
+
+struct scripted_op {
+  enum { store, erase, store_obsolete } what = store;
+  record_key key;
+  bytes payload;
+  std::vector<record_key> obsolete;
+};
+
+std::vector<scripted_op> make_script(rng& r, std::uint32_t n) {
+  std::vector<scripted_op> script;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    scripted_op op;
+    static constexpr record_area areas[] = {record_area::writing,
+                                            record_area::written,
+                                            record_area::recovered};
+    op.key = {areas[r.next_below(3)], static_cast<register_id>(r.next_below(5))};
+    const double dice = r.next_unit();
+    if (dice < 0.12) {
+      op.what = scripted_op::erase;
+    } else if (dice < 0.3) {
+      op.what = scripted_op::store_obsolete;
+      for (std::uint64_t j = r.next_below(3); j > 0; --j) {
+        op.obsolete.push_back(
+            {areas[r.next_below(3)], static_cast<register_id>(r.next_below(5))});
+      }
+    }
+    if (op.what != scripted_op::erase) {
+      op.payload.resize(r.next_below(24));
+      for (auto& x : op.payload) x = static_cast<std::uint8_t>(r.next_below(256));
+    }
+    script.push_back(std::move(op));
+  }
+  return script;
+}
+
+void apply(wal_store& st, const scripted_op& op) {
+  switch (op.what) {
+    case scripted_op::store:
+      st.store(op.key, op.payload);
+      break;
+    case scripted_op::erase:
+      st.erase(op.key);
+      break;
+    case scripted_op::store_obsolete:
+      st.store_and_obsolete(op.key, op.payload, op.obsolete);
+      break;
+  }
+}
+
+void apply(model_map& model, const scripted_op& op) {
+  switch (op.what) {
+    case scripted_op::store:
+      model[op.key] = op.payload;
+      break;
+    case scripted_op::erase:
+      model.erase(op.key);
+      break;
+    case scripted_op::store_obsolete:
+      model[op.key] = op.payload;
+      for (const record_key& k : op.obsolete) {
+        if (k == op.key) continue;
+        model.erase(k);
+      }
+      break;
+  }
+}
+
+/// The frame image op `i + 1` would append to the boundary-`i` store — the
+/// bytes that are mid-append when the kill lands between the boundaries.
+bytes in_flight_frame(const model_map& at_boundary, const scripted_op& next) {
+  bytes frame;
+  if (next.what == scripted_op::erase) {
+    if (at_boundary.count(next.key) == 0) return frame;  // no-op, no append
+    append_wal_frame(frame, wal_frame_kind::tombstone, next.key, {});
+    return frame;
+  }
+  append_wal_frame(frame, wal_frame_kind::record, next.key, next.payload);
+  if (next.what == scripted_op::store_obsolete) {
+    for (const record_key& k : next.obsolete) {
+      if (k == next.key || at_boundary.count(k) == 0) continue;
+      append_wal_frame(frame, wal_frame_kind::tombstone, k, {});
+    }
+  }
+  return frame;
+}
+
+TEST(WalRecoveryProperty, KillAtEveryStoreBoundaryRecoversTheBoundaryState) {
+  wal_store_config cfg;
+  cfg.compact_min_bytes = 192;  // force real compactions mid-script
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    rng r(seed);
+    const std::vector<scripted_op> script = make_script(r, 40);
+
+    // One reference pass records the durable image at every boundary.
+    std::vector<std::pair<bytes, bytes>> images;  // (snapshot, log) per boundary
+    std::vector<model_map> models;
+    {
+      auto owned = std::make_unique<memory_media>();
+      memory_media* media = owned.get();
+      wal_store st(std::move(owned), cfg);
+      model_map model;
+      images.emplace_back(media->snapshot, media->log);
+      models.push_back(model);
+      for (const scripted_op& op : script) {
+        apply(st, op);
+        apply(model, op);
+        images.emplace_back(media->snapshot, media->log);
+        models.push_back(model);
+      }
+    }
+
+    for (std::size_t boundary = 0; boundary < images.size(); ++boundary) {
+      // Clean kill: the image exactly as the boundary left it.
+      {
+        auto media = std::make_unique<memory_media>();
+        media->snapshot = images[boundary].first;
+        media->log = images[boundary].second;
+        wal_store rec(std::move(media), cfg);
+        EXPECT_EQ(state_of(rec), models[boundary])
+            << "seed " << seed << " boundary " << boundary << " clean";
+      }
+      if (boundary == script.size()) continue;
+      const bytes frame = in_flight_frame(models[boundary], script[boundary]);
+      if (frame.empty()) continue;
+      // The acceptable post-kill states: the boundary state plus the first
+      // j frames of the in-flight append, for every j (damage can stop the
+      // scanner at any frame boundary within the torn prefix).
+      std::vector<model_map> acceptable{models[boundary]};
+      {
+        model_map partial = models[boundary];
+        scan_wal(frame, [&](const wal_frame& f) {
+          if (f.kind == wal_frame_kind::record) {
+            partial[f.key] = bytes(f.payload.begin(), f.payload.end());
+          } else {
+            partial.erase(f.key);
+          }
+          acceptable.push_back(partial);
+        });
+      }
+      // Torn and corrupt kills mid-append of the next op: every strict
+      // prefix length once, with deterministic extra damage on some.
+      rng damage(seed * 1'000'003 + boundary);
+      for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+        auto media = std::make_unique<memory_media>();
+        media->snapshot = images[boundary].first;
+        media->log = images[boundary].second;
+        media->log.insert(media->log.end(), frame.begin(), frame.begin() + keep);
+        const std::size_t durable = images[boundary].second.size();
+        if (keep > 0 && damage.chance(0.4)) {
+          flip_random_bit_after(media->log, damage, durable);
+        }
+        if (damage.chance(0.3)) {
+          append_garbage(media->log, damage, 1 + damage.next_below(16));
+        }
+        wal_store rec(std::move(media), cfg);  // must not throw
+        const model_map got = state_of(rec);
+        EXPECT_NE(std::find(acceptable.begin(), acceptable.end(), got),
+                  acceptable.end())
+            << "seed " << seed << " boundary " << boundary << " keep " << keep;
+      }
+    }
+  }
+}
+
+TEST(WalRecoveryProperty, RepeatedKillsNeverLoseDurableState) {
+  // Crash-append-crash chains: each recovery truncates the damaged tail, so
+  // the next append lands on the valid prefix and durable records survive
+  // arbitrarily many torn kills.
+  rng r(7);
+  auto owned = std::make_unique<memory_media>();
+  memory_media* media = owned.get();
+  wal_store st(std::move(owned), {});
+  model_map model;
+  for (int round = 0; round < 50; ++round) {
+    const record_key key{record_area::written,
+                         static_cast<register_id>(r.next_below(4))};
+    bytes payload(1 + r.next_below(16));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(r.next_below(256));
+    st.store(key, payload);
+    model[key] = payload;
+    // Kill with a torn, possibly corrupted frame for a record that must NOT
+    // surface.
+    bytes frame;
+    append_wal_frame(frame, wal_frame_kind::record,
+                     {record_area::written, 99}, bytes(8, 0xEE));
+    const std::size_t keep = 1 + r.next_below(frame.size() - 1);
+    media->log.insert(media->log.end(), frame.begin(), frame.begin() + keep);
+    if (r.chance(0.5)) flip_random_bit_after(media->log, r, media->log.size() - keep);
+    st.reopen();
+    ASSERT_EQ(state_of(st), model) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace remus::storage
+
+namespace remus::core {
+namespace {
+
+/// A corrupt_tail-heavy scenario spec over the WAL engine.
+scenario_spec corrupt_spec(std::uint64_t seed, std::uint32_t shards, char policy) {
+  rng r(seed);
+  sim::adversarial_config acfg;
+  acfg.shards = shards;
+  acfg.n = 3;
+  acfg.units = 4;
+  acfg.horizon = 6'000'000;
+  acfg.min_down = 200'000;
+  acfg.max_down = 2'000'000;
+  acfg.recovery_skew = 400'000;
+  acfg.gray_max_delay = 1'000'000;
+  acfg.weights[static_cast<std::size_t>(sim::fault_family::corrupt_tail)] = 4.0;
+  acfg.weights[static_cast<std::size_t>(sim::fault_family::migration)] = 0.0;
+
+  scenario_spec spec;
+  spec.plan = sim::make_adversarial_plan(acfg, r);
+  spec.key_count = 6;
+  spec.ops = 60;
+  spec.mean_gap = 150'000;
+  spec.workload_seed = seed * 1'000'003;
+  spec.cluster_seed = seed * 998'244'353;
+  spec.policy = policy;
+  return spec;
+}
+
+TEST(WalRecoveryProperty, CorruptTailCrashesUnderLoadStayAtomicPerKey) {
+  // run_scenario drives the WAL engine (cfg.base.wal_storage) with the
+  // corrupt_crash fault family, runs the quiesced audit read over every
+  // key, and applies the per-key atomicity and tag-order checkers.
+  std::uint64_t corrupt_events = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const scenario_spec spec =
+        corrupt_spec(seed, 1 + static_cast<std::uint32_t>(seed % 2),
+                     seed % 2 == 0 ? 'p' : 't');
+    for (const sim::scenario_event& e : spec.plan.events) {
+      corrupt_events += e.kind == sim::scenario_kind::corrupt_crash ? 1 : 0;
+    }
+    const scenario_outcome out = run_scenario(spec);
+    ASSERT_TRUE(out.ok()) << "seed " << seed << ": " << out.failure << "\nREPRO "
+                          << spec.encode();
+    EXPECT_GT(out.keys_checked, 0u) << "seed " << seed;
+  }
+  EXPECT_GT(corrupt_events, 20u);
+}
+
+TEST(WalRecoveryProperty, ClusterRecoveryReplayIsBoundedByLiveState) {
+  cluster_config cfg;
+  cfg.n = 3;
+  cfg.policy = proto::persistent_policy();
+  cfg.seed = 99;
+  cfg.wal_storage = true;
+  cfg.wal_compact_min_bytes = 2 * 1024;
+  cluster c(cfg);
+
+  // Heavy single-writer load over a small key set: the log would grow
+  // without bound if compaction (and the pre-log obsolescence piggyback)
+  // did not keep replay proportional to live state.
+  rng r(5);
+  time_ns at = 0;
+  for (int i = 0; i < 800; ++i) {
+    at += 30'000;
+    c.submit_write(process_id{0}, static_cast<register_id>(i % 4),
+                   value_of_u32(static_cast<std::uint32_t>(i)), at);
+  }
+  ASSERT_TRUE(c.run_until_idle());
+
+  for (std::uint32_t p = 0; p < cfg.n; ++p) {
+    storage::wal_store* wal = c.wal_of(process_id{p});
+    ASSERT_NE(wal, nullptr);
+    ASSERT_GT(wal->store_count(), 100u) << "process " << p;
+    wal->reopen();
+    const storage::wal_recovery_stats& rec = wal->last_recovery();
+    // Replay I/O is bounded by the compaction threshold (live state plus
+    // slack, floored at wal_compact_min_bytes) — not by the hundreds of
+    // stores this process served.
+    EXPECT_LE(rec.bytes_read, 3 * cfg.wal_compact_min_bytes) << "process " << p;
+    EXPECT_LT(rec.frames_replayed, wal->store_count() / 2) << "process " << p;
+  }
+
+  // The reopened stores still serve reads correctly.
+  for (register_id k = 0; k < 4; ++k) {
+    const value v = c.read(process_id{1}, k);
+    EXPECT_FALSE(v.data.empty()) << "key " << k;
+  }
+}
+
+TEST(WalRecoveryProperty, CorruptCrashMidWriteNeverSplitsAKey) {
+  // Directed version of the torn-append soundness argument: crash every
+  // writer with corrupt_tail style while writes are in flight, recover,
+  // then audit with the checkers. Durable (fsync-acked) frames are never
+  // damaged, so no corruption or kill point may violate per-key atomicity.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cluster_config cfg;
+    cfg.n = 3;
+    cfg.policy = seed % 2 == 0 ? proto::persistent_policy()
+                               : proto::transient_policy();
+    cfg.seed = seed;
+    cfg.wal_storage = true;
+    cluster c(cfg);
+    rng r(seed * 31);
+    time_ns at = 0;
+    for (int i = 0; i < 60; ++i) {
+      at += 50'000;
+      const auto p = process_id{static_cast<std::uint32_t>(r.next_below(3))};
+      const auto reg = static_cast<register_id>(r.next_below(3));
+      if (r.chance(0.5)) {
+        c.submit_write(p, reg, value_of_u32(static_cast<std::uint32_t>(i)), at);
+      } else {
+        c.submit_read(p, reg, at);
+      }
+      if (i % 12 == 5) {
+        // Land the crash while stores are likely mid-append.
+        const auto victim = process_id{static_cast<std::uint32_t>(r.next_below(3))};
+        c.submit_crash(victim, at + 10'000, crash_style::corrupt_tail);
+        c.submit_recover(victim, at + 400'000);
+      }
+    }
+    ASSERT_TRUE(c.run_until_idle()) << "seed " << seed;
+    for (register_id k = 0; k < 3; ++k) {
+      c.submit_read(process_id{0}, k, c.now());
+    }
+    ASSERT_TRUE(c.run_until_idle()) << "seed " << seed;
+
+    const history::criterion crit = cfg.policy.recovery_counter
+                                        ? history::criterion::transient
+                                        : history::criterion::persistent;
+    const history::keyed_check_result atom =
+        history::check_atomicity_per_key(c.events(), crit);
+    EXPECT_TRUE(atom.ok) << "seed " << seed << ": " << atom.explanation;
+    const history::tag_order_result order =
+        history::check_tag_order_per_key(c.tagged_operations());
+    EXPECT_TRUE(order.ok) << "seed " << seed << ": " << order.explanation;
+  }
+}
+
+}  // namespace
+}  // namespace remus::core

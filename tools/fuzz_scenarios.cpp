@@ -19,16 +19,24 @@
 //                   2 = skip_read_writeback) — self-test that the fuzzer
 //                   catches and minimizes a real bug
 //   --progress N    progress line every N runs (default 100; 0 = quiet)
+//   --corpus DIR    before the random campaign, replay every repro line in
+//                   DIR/*.repro (sorted by file name; '#' comments and blank
+//                   lines skipped) and fold each run into the coverage and
+//                   the digest — the regression corpus runs under the same
+//                   checkers as generated scenarios
 //
 // Exit status: 0 = all runs clean, 1 = violation found (repro printed),
 // 2 = bad usage. Output is deterministic for a fixed seed (the CI
 // determinism pin runs the same seed twice and diffs stdout, digest line
 // included).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/scenario_runner.h"
 #include "sim/scenario.h"
@@ -112,6 +120,43 @@ scenario_spec make_spec(std::uint32_t run, remus::rng& r,
   return spec;
 }
 
+/// Replays DIR/*.repro (each line one encoded scenario_spec) under the same
+/// checkers as generated runs, folding coverage and digest. Returns the
+/// number of specs replayed, or -1 on a violation (repro already printed).
+int replay_corpus(const std::string& dir, remus::sim::scenario_coverage& campaign,
+                  std::uint64_t& digest, const std::string& repro_out) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& ent : fs::directory_iterator(dir)) {
+    if (ent.path().extension() == ".repro") files.push_back(ent.path());
+  }
+  std::sort(files.begin(), files.end());
+  int replayed = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const scenario_spec spec = scenario_spec::decode(line);
+      const scenario_outcome out = run_scenario(spec);
+      campaign.merge(out.coverage);
+      digest = digest_run(digest, spec, out);
+      ++replayed;
+      if (!out.ok()) {
+        std::fprintf(stderr, "corpus %s regressed\n", file.filename().c_str());
+        std::fprintf(stderr, "violation: %s\n", out.failure.c_str());
+        std::printf("REPRO %s\n", line.c_str());
+        if (!repro_out.empty()) {
+          std::ofstream f(repro_out);
+          f << line << '\n';
+        }
+        return -1;
+      }
+    }
+  }
+  return replayed;
+}
+
 int fail_with_repro(const scenario_spec& spec, const scenario_outcome& out,
                     const std::string& repro_out) {
   std::fprintf(stderr, "violation: %s\n", out.failure.c_str());
@@ -135,6 +180,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t progress = 100;
   std::string repro_out;
+  std::string corpus_dir;
   auto inject = shard_router_config::injected_fault::none;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +197,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--repro-out" && val != nullptr) {
       repro_out = val;
       ++i;
+    } else if (arg == "--corpus" && val != nullptr) {
+      corpus_dir = val;
+      ++i;
     } else if (arg == "--inject" && val != nullptr) {
       const unsigned long k = std::stoul(val);
       if (k > 2) {
@@ -162,7 +211,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs N] [--seed S] [--repro-out PATH] "
-                   "[--inject K] [--progress N]\n",
+                   "[--inject K] [--progress N] [--corpus DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -172,6 +221,11 @@ int main(int argc, char** argv) {
   remus::sim::scenario_coverage campaign;
   std::uint64_t digest = 0xcbf29ce484222325ULL;
   std::uint64_t completed_total = 0;
+  if (!corpus_dir.empty()) {
+    const int replayed = replay_corpus(corpus_dir, campaign, digest, repro_out);
+    if (replayed < 0) return 1;
+    std::printf("corpus: %d specs replayed clean\n", replayed);
+  }
   for (std::uint64_t i = 0; i < runs; ++i) {
     remus::rng r = campaign_rng.fork();
     const scenario_spec spec =
