@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
       case core::shard_router::migration_event::cause::write_handoff: ++by_write; break;
       case core::shard_router::migration_event::cause::drain: ++by_drain; break;
       case core::shard_router::migration_event::cause::read_writeback: ++writebacks; break;
+      case core::shard_router::migration_event::cause::lease_drop: break;  // bookkeeping, not a key move
     }
   }
   if (drained) router.finish_add_shard();

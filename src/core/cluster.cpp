@@ -14,6 +14,10 @@ cluster::cluster(cluster_config cfg)
       rng_(cfg_.seed) {
   if (cfg_.n == 0) throw driver_error("cluster: n must be >= 1");
   if (!cfg_.policy.coherent()) throw driver_error("cluster: incoherent policy");
+  if (cfg_.policy.read_leases && cfg_.n > 64) {
+    // Lease notes carry holders as a 64-bit mask.
+    throw driver_error("cluster: read leases require n <= 64");
+  }
   queue_.set_executor(this);
   nodes_.reserve(cfg_.n);
   all_processes_.reserve(cfg_.n);
@@ -253,6 +257,9 @@ void cluster::execute(sim::sim_event& ev) {
     case sim::event_kind::timer:
       deliver_timer(ev.target, ev.a, ev.incarnation);
       return;
+    case sim::event_kind::lease_expiry:
+      deliver_lease_expiry(ev.target, ev.a, ev.incarnation);
+      return;
     case sim::event_kind::op_dispatch:
       handle_op_dispatch(ev);
       return;
@@ -330,6 +337,7 @@ void cluster::dispatch_next_op(process_id p) {
   // (epoch, op_seq); effects emitted below match it).
   nd.attr_messages = 0;
   nd.attr_logs = 0;
+  nd.attr_net_bytes = 0;
   execute_effects(p, lease.out);
 }
 
@@ -378,6 +386,19 @@ void cluster::deliver_timer(process_id p, std::uint64_t token, std::uint64_t inc
   ctx.busy_until = now() + cfg_.process_step_cost;
   outputs_lease lease(*this);
   nd.core->on_timer(token, lease.out);
+  execute_effects(p, lease.out);
+}
+
+void cluster::deliver_lease_expiry(process_id p, std::uint64_t token,
+                                   std::uint64_t incarnation) {
+  node& nd = nd_of(p);
+  if (nd.incarnation != incarnation || !nd.up || !nd.core->is_up()) return;
+  // No busy-context requeue: a deadline must never slip past its virtual
+  // time — the fast path's safety rests on holders expiring no later than
+  // their grantors' records — and expiry is pure bookkeeping (no I/O, no
+  // blocking), so delivering it out-of-band is sound.
+  outputs_lease lease(*this);
+  nd.core->on_lease_expiry(token, lease.out);
   execute_effects(p, lease.out);
 }
 
@@ -436,20 +457,26 @@ void cluster::execute_effects(process_id p, proto::outputs& out) {
 
   for (const proto::broadcast_request& b : out.broadcasts) {
     // Acks are never broadcast, so the sender is the op's origin.
-    attribute_messages(b.msg.from, b.msg.epoch, b.msg.op_seq, cfg_.n);
+    attribute_messages(b.msg.from, b.msg.epoch, b.msg.op_seq, cfg_.n,
+                       static_cast<std::uint64_t>(proto::wire_size(b.msg)) * cfg_.n);
     route_message(p, all_processes_, b.msg);
   }
 
   for (const proto::send_request& s : out.sends) {
     // An ack's cost belongs to the op of its *recipient* (the invoker).
     attribute_messages(proto::is_ack_kind(s.msg.kind) ? s.to : s.msg.from,
-                       s.msg.epoch, s.msg.op_seq, 1);
+                       s.msg.epoch, s.msg.op_seq, 1, proto::wire_size(s.msg));
     unicast_to_[0] = s.to;
     route_message(p, unicast_to_, s.msg);
   }
 
   for (const proto::timer_request& t : out.timers) {
     queue_.schedule_plain(now() + t.delay, sim::event_kind::timer, p, t.token,
+                          nd.incarnation);
+  }
+
+  for (const proto::timer_request& t : out.lease_timers) {
+    queue_.schedule_plain(now() + t.delay, sim::event_kind::lease_expiry, p, t.token,
                           nd.incarnation);
   }
 
@@ -478,6 +505,7 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
   r.sample.round_trips = oc.round_trips;
   r.sample.total_logs = nd.attr_logs;
   r.sample.messages = nd.attr_messages;
+  r.sample.net_bytes = nd.attr_net_bytes;
 
   if (r.is_batch) {
     // One reply event per register, mirroring the per-register invokes.
@@ -580,12 +608,27 @@ void cluster::import_register(const register_snapshot& snap) {
   }
 }
 
-void cluster::evict_register(register_id reg) {
+std::uint32_t cluster::evict_register(register_id reg) {
+  std::uint32_t leases_dropped = 0;
   for (const auto& nd : nodes_) {
     nd->store->erase(proto::writing_key_of(reg));
     nd->store->erase(proto::written_key_of(reg));
-    if (nd->up && nd->core->is_up()) nd->core->evict(reg);
+    // The stable grantor record goes regardless of liveness — a crashed
+    // grantor's recovery must not resurrect a lease on a group that no
+    // longer owns the register. A live core's evict() already counts its
+    // volatile registry entry, so the record only counts when the core is
+    // down (it is all the state that remains there).
+    const bool live = nd->up && nd->core->is_up();
+    const bool had_record =
+        static_cast<bool>(nd->store->retrieve(proto::lease_key_of(reg)));
+    nd->store->erase(proto::lease_key_of(reg));
+    if (live) {
+      leases_dropped += nd->core->evict(reg);
+    } else if (had_record) {
+      leases_dropped += 1;
+    }
   }
+  return leases_dropped;
 }
 
 void cluster::for_each_register_with_state(

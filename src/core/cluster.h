@@ -211,10 +211,13 @@ class cluster final : private sim::sim_executor {
   /// recovery. Idempotent; tags only advance.
   void import_register(const register_snapshot& snap);
   /// Drop `reg`'s state everywhere: volatile slots on live cores and the
-  /// (writing)/(written) records in every stable store. Called on the
-  /// *source* group once the destination durably imported, so a later
+  /// (writing)/(written)/(lease) records in every stable store. Called on
+  /// the *source* group once the destination durably imported, so a later
   /// recovery here cannot resurrect a register this group stopped owning.
-  void evict_register(register_id reg);
+  /// Returns the number of lease-state entries (holdings and grantor
+  /// records) dropped across the group — leases never survive a handoff,
+  /// and the router records a nonzero drop in its migration log.
+  std::uint32_t evict_register(register_id reg);
   /// Enumerate every register some process holds state for (stable records
   /// or volatile slots), deduplicated, ascending. Migration worklists.
   void for_each_register_with_state(const std::function<void(register_id)>& fn) const;
@@ -258,6 +261,7 @@ class cluster final : private sim::sim_executor {
     /// with no per-op map entry.
     std::uint32_t attr_messages = 0;
     std::uint32_t attr_logs = 0;
+    std::uint64_t attr_net_bytes = 0;
 
     explicit node(sim::disk_config dc) : disk(dc) {}
   };
@@ -292,21 +296,26 @@ class cluster final : private sim::sim_executor {
                         std::span<const storage::record_key> obsoletes,
                         std::uint64_t incarnation);
   void deliver_timer(process_id p, std::uint64_t token, std::uint64_t incarnation);
+  void deliver_lease_expiry(process_id p, std::uint64_t token,
+                            std::uint64_t incarnation);
   void execute_effects(process_id p, proto::outputs& out);
   void route_message(process_id from, const std::vector<process_id>& tos,
                      const proto::message& m);
   void do_crash(process_id p, crash_style style);
   void do_recover(process_id p);
   void finish_active_op(process_id p, const proto::op_outcome& oc);
-  /// Count `n` messages against the origin's active op, if the identity
-  /// (origin, epoch, seq) names it; stale traffic goes unattributed.
+  /// Count `n` messages (totalling `bytes` on the wire) against the origin's
+  /// active op, if the identity (origin, epoch, seq) names it; stale traffic
+  /// goes unattributed.
   void attribute_messages(process_id origin, std::uint64_t epoch,
-                          std::uint64_t op_seq, std::uint32_t n) {
+                          std::uint64_t op_seq, std::uint32_t n,
+                          std::uint64_t bytes) {
     if (!origin.valid() || op_seq == 0) return;
     node& o = nd_of(origin);
     if (o.active_op && o.core->current_op_seq() == op_seq &&
         o.core->current_epoch() == epoch) {
       o.attr_messages += n;
+      o.attr_net_bytes += bytes;
     }
   }
 

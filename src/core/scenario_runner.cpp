@@ -39,7 +39,8 @@ std::string scenario_spec::encode() const {
   os << "s1|" << key_count << ',' << ops << ',' << double_bits(read_fraction) << ','
      << double_bits(zipf_theta) << ',' << batch_size << ',' << mean_gap << ','
      << workload_seed << ',' << cluster_seed << ',' << policy << ','
-     << static_cast<int>(fault) << '|' << sim::encode(plan);
+     << static_cast<int>(fault) << ',' << (leases ? 1 : 0) << '|'
+     << sim::encode(plan);
   return os.str();
 }
 
@@ -58,7 +59,9 @@ scenario_spec scenario_spec::decode(const std::string& line) {
       start = i + 1;
     }
   }
-  if (f.size() != 10 || f[8].size() != 1) {
+  // 10 fields is the pre-lease line format; the 11th (leases) is optional so
+  // old corpus repro lines stay valid.
+  if ((f.size() != 10 && f.size() != 11) || f[8].size() != 1) {
     throw std::invalid_argument("spec: bad field count");
   }
   scenario_spec spec;
@@ -80,6 +83,11 @@ scenario_spec scenario_spec::decode(const std::string& line) {
     throw std::invalid_argument("spec: bad fault");
   }
   spec.fault = static_cast<shard_router_config::injected_fault>(fault);
+  if (f.size() == 11) {
+    const std::uint64_t leases = parse_u64(f[10]);
+    if (leases > 1) throw std::invalid_argument("spec: bad leases flag");
+    spec.leases = leases == 1;
+  }
   spec.plan = sim::decode_plan(line.substr(bar2 + 1));
   return spec;
 }
@@ -93,6 +101,18 @@ scenario_outcome run_scenario(const scenario_spec& spec) {
   cfg.base.n = plan.n;
   cfg.base.policy =
       spec.policy == 't' ? proto::transient_policy() : proto::persistent_policy();
+  // Lease runs (explicit flag or a lease-family unit in the plan) turn the
+  // read-lease fast path on with an aggressive tuning — every read a grant
+  // candidate, lease windows short enough that expiry races the fault plan.
+  bool leases = spec.leases;
+  for (const sim::scenario_event& e : plan.events) {
+    if (e.family == sim::fault_family::lease) leases = true;
+  }
+  if (leases) {
+    cfg.base.policy.read_leases = true;
+    cfg.base.policy.lease_hot_read_threshold = 1;
+    cfg.base.policy.lease_duration = 5 * 1000 * 1000;  // 5 ms virtual
+  }
   cfg.base.seed = spec.cluster_seed;
   // Scenario runs exercise the WAL engine so corrupt_crash has a medium to
   // damage; throughput benchmarks keep the map store (zero-allocation path).
@@ -290,6 +310,10 @@ scenario_outcome run_scenario(const scenario_spec& spec) {
       out.coverage.retransmits += b.retransmits;
       out.coverage.retransmit_trims += b.retransmit_trims;
       out.coverage.recovery_finish_writes += b.recovery_finish_writes;
+      out.coverage.leased_read_hits += b.leased_read_hits;
+      out.coverage.lease_grants += b.lease_grants;
+      out.coverage.lease_invalidations += b.lease_invalidations;
+      out.coverage.lease_expiries += b.lease_expiries;
     }
   }
   out.migration_log = router.migration_log();
@@ -303,6 +327,9 @@ scenario_outcome run_scenario(const scenario_spec& spec) {
         break;
       case shard_router::migration_event::cause::read_writeback:
         out.coverage.handoff_writebacks += 1;
+        break;
+      case shard_router::migration_event::cause::lease_drop:
+        out.coverage.handoff_lease_drops += 1;
         break;
     }
   }

@@ -46,6 +46,11 @@ struct scenario_spec {
   char policy = 'p';
   /// Deliberate bug to plant (fuzzer acceptance check); none for real runs.
   shard_router_config::injected_fault fault = shard_router_config::injected_fault::none;
+  /// Run with read leases on (short duration, hot-key threshold 1) so the
+  /// fault plan lands on live leases. Also turned on automatically when the
+  /// plan contains a lease-family unit. Encoded as an optional 11th field —
+  /// pre-lease repro lines (10 fields) decode with leases off.
+  bool leases = false;
 
   [[nodiscard]] bool operator==(const scenario_spec&) const = default;
 

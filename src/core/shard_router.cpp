@@ -195,10 +195,17 @@ void shard_router::handoff_key(register_id reg, migration_event::cause why,
   if (cfg_.test_fault != shard_router_config::injected_fault::drop_handoff_state) {
     shards_[to]->import_register(snap);
   }
-  shards_[from]->evict_register(reg);
+  const std::uint32_t leases_dropped = shards_[from]->evict_register(reg);
   migrated_[reg] = true;
   migrated_total_ += 1;
   migration_log_.push_back({reg, from, to, at, why});
+  if (leases_dropped > 0) {
+    // The source group held read-lease state for the key; the eviction just
+    // revoked it (holdings, grantor registries, and stable records alike).
+    // Record the drop so migration schedules expose it — a leased read
+    // served by the old shard after this instant would be a routing bug.
+    migration_log_.push_back({reg, from, to, at, migration_event::cause::lease_drop});
+  }
 }
 
 std::uint32_t shard_router::route_write_key(register_id reg) {

@@ -196,7 +196,11 @@ class shard_router final {
   /// schedule. Deterministic per (config, workload, reconfiguration calls);
   /// the determinism pin compares it across runs.
   struct migration_event {
-    enum class cause : std::uint8_t { write_handoff, drain, read_writeback };
+    /// `lease_drop` entries are companions to a handoff entry for the same
+    /// key at the same instant: the source group held read-lease state
+    /// (active holdings and/or grantor records) that the eviction dropped —
+    /// the old shard must never serve another leased read for the key.
+    enum class cause : std::uint8_t { write_handoff, drain, read_writeback, lease_drop };
     register_id reg = default_register;
     std::uint32_t from_shard = 0;
     std::uint32_t to_shard = 0;

@@ -9,12 +9,14 @@ void op_collector::add(const op_sample& s) {
     read_tlogs_.add(s.total_logs);
     read_msgs_.add(s.messages);
     read_rts_.add(s.round_trips);
+    read_bytes_.add(static_cast<double>(s.net_bytes));
   } else {
     write_lat_.add(to_us(s.latency));
     write_clogs_.add(s.causal_logs);
     write_tlogs_.add(s.total_logs);
     write_msgs_.add(s.messages);
     write_rts_.add(s.round_trips);
+    write_bytes_.add(static_cast<double>(s.net_bytes));
   }
 }
 

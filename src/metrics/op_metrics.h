@@ -23,6 +23,9 @@ struct op_sample {
   std::uint32_t round_trips = 0;
   /// Messages sent on behalf of this op across all processes.
   std::uint32_t messages = 0;
+  /// Wire bytes of those messages (payload-accurate: each broadcast copy
+  /// counts). Leased local reads report 0 — the fast path's whole point.
+  std::uint64_t net_bytes = 0;
 };
 
 class op_collector {
@@ -39,6 +42,8 @@ class op_collector {
   [[nodiscard]] const summary& read_messages() const { return read_msgs_; }
   [[nodiscard]] const summary& write_round_trips() const { return write_rts_; }
   [[nodiscard]] const summary& read_round_trips() const { return read_rts_; }
+  [[nodiscard]] const summary& write_net_bytes() const { return write_bytes_; }
+  [[nodiscard]] const summary& read_net_bytes() const { return read_bytes_; }
 
   [[nodiscard]] std::string describe() const;
 
@@ -48,6 +53,7 @@ class op_collector {
   summary write_tlogs_, read_tlogs_;
   summary write_msgs_, read_msgs_;
   summary write_rts_, read_rts_;
+  summary write_bytes_, read_bytes_;
 };
 
 }  // namespace remus::metrics

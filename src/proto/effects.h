@@ -113,6 +113,10 @@ struct outputs {
   recycling_vector<broadcast_request> broadcasts;
   recycling_vector<log_request> logs;
   recycling_vector<timer_request> timers;
+  /// Lease-expiry deadlines: like `timers` but delivered through the typed
+  /// lease_expiry event so the driver can keep retransmission timers and
+  /// lease clocks distinct (and cancel neither on the hot path).
+  recycling_vector<timer_request> lease_timers;
   completion_slot completion;
   /// Set when a recovery procedure finished and invocations may resume.
   bool recovery_complete = false;
@@ -122,12 +126,13 @@ struct outputs {
     broadcasts.clear();
     logs.clear();
     timers.clear();
+    lease_timers.clear();
     completion.reset();
     recovery_complete = false;
   }
   [[nodiscard]] bool empty() const {
     return sends.empty() && broadcasts.empty() && logs.empty() && timers.empty() &&
-           !completion && !recovery_complete;
+           lease_timers.empty() && !completion && !recovery_complete;
   }
 };
 

@@ -11,6 +11,8 @@ std::string to_string(msg_kind k) {
     case msg_kind::read_query: return "R";
     case msg_kind::read_ack: return "R_ack";
     case msg_kind::writeback: return "WB";
+    case msg_kind::lease_grant_ack: return "L_ack";
+    case msg_kind::lease_grant: return "L";
   }
   return "?";
 }
@@ -32,6 +34,11 @@ bytes encode(const message& m) {
     w.put_tag(e.ts);
     w.put_value(e.val);
   }
+  w.put_u32(static_cast<std::uint32_t>(m.leases.size()));
+  for (const lease_note& n : m.leases) {
+    w.put_u32(n.reg);
+    w.put_u64(n.holder_mask);
+  }
   return std::move(w).take();
 }
 
@@ -39,7 +46,7 @@ message decode_message(const bytes& wire) {
   byte_reader r(wire);
   message m;
   const auto k = r.get_u8();
-  if (k < 1 || k > 7) throw codec_error("message: bad kind");
+  if (k < 1 || k > 9) throw codec_error("message: bad kind");
   m.kind = static_cast<msg_kind>(k);
   m.from = r.get_process();
   m.op_seq = r.get_u64();
@@ -63,6 +70,18 @@ message decode_message(const bytes& wire) {
     e.val = r.get_value();
     m.batch.push_back(std::move(e));
   }
+  const std::uint32_t lease_count = r.get_u32();
+  // Every lease note occupies exactly 12 wire bytes.
+  if (static_cast<std::size_t>(lease_count) * 12 > r.remaining()) {
+    throw codec_error("message: bad lease count");
+  }
+  m.leases.reserve(lease_count);
+  for (std::uint32_t i = 0; i < lease_count; ++i) {
+    lease_note n;
+    n.reg = r.get_u32();
+    n.holder_mask = r.get_u64();
+    m.leases.push_back(n);
+  }
   r.expect_done();
   return m;
 }
@@ -70,8 +89,10 @@ message decode_message(const bytes& wire) {
 std::size_t wire_size(const message& m) {
   // kind(1) + from(4) + op_seq(8) + round(4) + epoch(8)
   // + tag(8 + 8 + 4) + value(4 + n) + depth(4) + reg(4) + batch count(4)
-  std::size_t sz = 1 + 4 + 8 + 4 + 8 + 20 + 4 + m.val.size() + 4 + 4 + 4;
+  // + lease count(4)
+  std::size_t sz = 1 + 4 + 8 + 4 + 8 + 20 + 4 + m.val.size() + 4 + 4 + 4 + 4;
   for (const batch_entry& e : m.batch) sz += 4 + 20 + 4 + e.val.size();
+  sz += m.leases.size() * 12;  // reg(4) + holder_mask(8)
   return sz;
 }
 

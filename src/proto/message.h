@@ -36,6 +36,8 @@ enum class msg_kind : std::uint8_t {
   read_query = 5, // paper: send(R)
   read_ack = 6,   // paper: send(R_ack, [sn, pid], v)
   writeback = 7,  // read round 2; server-side identical to `write`
+  lease_grant_ack = 8,  // R_ack + "your lease is durably recorded here"
+  lease_grant = 9,      // read round 1 that also installs a read lease
 };
 
 [[nodiscard]] std::string to_string(msg_kind k);
@@ -48,7 +50,9 @@ enum class msg_kind : std::uint8_t {
 static_assert(is_ack_kind(msg_kind::sn_ack) && is_ack_kind(msg_kind::write_ack) &&
               is_ack_kind(msg_kind::read_ack) && !is_ack_kind(msg_kind::sn_query) &&
               !is_ack_kind(msg_kind::write) && !is_ack_kind(msg_kind::read_query) &&
-              !is_ack_kind(msg_kind::writeback));
+              !is_ack_kind(msg_kind::writeback) &&
+              is_ack_kind(msg_kind::lease_grant_ack) &&
+              !is_ack_kind(msg_kind::lease_grant));
 
 /// One register's share of a batched message. Queries list registers
 /// (ts/val defaulted); acknowledgements and update rounds carry the
@@ -59,6 +63,19 @@ struct batch_entry {
   value val;
 
   friend bool operator==(const batch_entry&, const batch_entry&) = default;
+};
+
+/// A replica's note, attached to an update-round ack, that it holds a
+/// durable lease record for `reg`: bit h of `holder_mask` set means process
+/// h may be serving leased reads of `reg`. The writer merges these masks
+/// into the set of processes whose acks the operation must wait for — the
+/// quorum-intersection step that makes leased reads linearizable (see
+/// quorum_core.h, "Read leases").
+struct lease_note {
+  register_id reg = default_register;
+  std::uint64_t holder_mask = 0;
+
+  friend bool operator==(const lease_note&, const lease_note&) = default;
 };
 
 struct message {
@@ -78,6 +95,8 @@ struct message {
   /// quorum round serves the whole key set (amortized round-trips).
   register_id reg = default_register;
   std::vector<batch_entry> batch;
+  /// Lease notes riding on update-round acks (empty everywhere else).
+  std::vector<lease_note> leases;
 
   [[nodiscard]] bool is_batch() const noexcept { return !batch.empty(); }
 

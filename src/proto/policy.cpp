@@ -8,6 +8,9 @@ bool protocol_policy::coherent() const {
   if (rec_in_tag && !recovery_counter) return false;
   if (read_return_first && read_writeback) return false;
   if (!write_query_round && !single_writer) return false;
+  // Leases revoke through crash-recovery (no recovery => no revocation
+  // point) and anchor the holder's slot via the read write-back round.
+  if (read_leases && (crash_stop || !read_writeback)) return false;
   return true;
 }
 

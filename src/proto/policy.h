@@ -10,6 +10,7 @@
 // bounds (Theorems 1 and 2) and the causal-log metric (section I-B).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/time.h"
@@ -76,6 +77,31 @@ struct protocol_policy {
   /// Client retransmission period for the repeat/until loops of the
   /// pseudocode (fair-lossy channels require retransmission).
   time_ns retransmit_delay = 50 * 1000 * 1000;
+
+  /// Read leases: a process whose quorum reads keep missing the same
+  /// register asks its grant round to install a freshness lease — every
+  /// replica that acks durably records (register, holder) through the WAL
+  /// store_and_obsolete path, and while the lease holds the holder serves
+  /// reads of that register from its own replica slot with zero messages.
+  /// Writers learn of recorded holders from lease notes piggybacked on
+  /// update-round acks and wait for every noted holder's ack before
+  /// completing (the common write path stays one update round); serving any
+  /// update for a held register drops the holding, so a completed write is
+  /// never followed by a stale leased read. Holder-side holdings are
+  /// volatile — a crash revokes them implicitly because recovery rebuilds
+  /// only the durable grantor side (the lease is bound to the holder's
+  /// incarnation). Requires the crash-recovery model and write-back reads.
+  bool read_leases = false;
+
+  /// Lease freshness window: the holder stops serving locally at
+  /// grant-send + lease_duration; each grantor forgets its record at
+  /// record-time + lease_duration (strictly later, so writers keep waiting
+  /// for a holder at least as long as it may serve).
+  time_ns lease_duration = 500 * 1000 * 1000;
+
+  /// Quorum reads of the same register by the same process before the next
+  /// read becomes a lease grant round. 0 = lease on first read.
+  std::uint32_t lease_hot_read_threshold = 2;
 
   /// Batch-aware retransmission: on timeout, a batched update round resends
   /// to each silent replica only the registers that still need its vote —

@@ -66,6 +66,7 @@ message& quorum_core::stage_msg(msg_kind k, std::uint32_t round, std::uint32_t d
   m.log_depth = depth;
   m.reg = cl_.reg;
   m.batch.clear();  // batched phases refill entries after staging
+  m.leases.clear();
   return m;
 }
 
@@ -83,6 +84,7 @@ quorum_core::batch_slot& quorum_core::claim_slot(std::uint32_t i, register_id r)
   s.first_val.data.clear();
   s.acked.assign(n_, false);  // keeps capacity across operations
   s.ack_count = 0;
+  s.lease_req_mask = 0;
   return s;
 }
 
@@ -152,6 +154,53 @@ void quorum_core::invoke_write(register_id reg, const value& v, outputs& out) {
 
 void quorum_core::invoke_read(register_id reg, outputs& out) {
   check_invocation_allowed("invoke_read");
+
+  if (pol_.read_leases) {
+    if (holdings_.find(reg) != nullptr) {
+      // Leased fast path: the holding's invariant is that the replica slot
+      // equals the grant's majority-anchored floor (any adoption drops the
+      // holding first), so the local value is returnable with zero messages.
+      branches_.leased_read_hits += 1;
+      const replica_slot* rs = replicas_.find(reg);
+      op_outcome& oc = out.completion.emplace();
+      oc.op_seq = ++op_counter_;
+      oc.is_read = true;
+      oc.reg = reg;
+      if (rs != nullptr) {
+        oc.result = rs->vval;
+        oc.applied = rs->vtag;
+      } else {
+        oc.result = initial_value();
+        oc.applied = initial_tag;
+      }
+      oc.causal_logs = 0;
+      oc.round_trips = 0;
+      oc.batch.clear();
+      return;
+    }
+    branches_.leased_read_misses += 1;
+    const std::uint32_t heat = ++read_heat_[reg];
+    if (heat > pol_.lease_hot_read_threshold) {
+      // Hot key: run this read as a grant round. Same two rounds as a normal
+      // read, but round 1 additionally installs the lease at every answering
+      // replica. The expiry clock starts NOW (send time), so every grantor's
+      // record — timed from its strictly later receipt — outlives the
+      // holder's serving window.
+      read_heat_.erase(reg);
+      cl_.reset();
+      cl_.reg = reg;
+      cl_.op_seq = ++op_counter_;
+      cl_.is_read = true;
+      cl_.best_tag = initial_tag;
+      cl_.lease_grant = true;
+      cl_.lease_token = fresh_token();
+      lease_tokens_[cl_.lease_token] = lease_timer_target{reg, /*grantor=*/false};
+      out.lease_timers.push_back(timer_request{cl_.lease_token, pol_.lease_duration});
+      stage_msg(msg_kind::lease_grant, 1, 0);
+      begin_phase(phase_kind::lease_grant, out);
+      return;
+    }
+  }
 
   cl_.reset();
   cl_.reg = reg;
@@ -391,18 +440,87 @@ bool quorum_core::cover_batch_slots(const message& m) {
   return any;
 }
 
-bool quorum_core::batch_update_settled() const {
-  const std::uint32_t q = quorum_size();
-  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
-    if (cl_.batch[i].ack_count < q) return false;
+bool quorum_core::slot_settled(const batch_slot& s) const {
+  if (s.ack_count < quorum_size()) return false;
+  if (s.lease_req_mask != 0) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if ((s.lease_req_mask >> i) & 1u) {
+        if (!s.acked[i]) return false;
+      }
+    }
   }
   return true;
+}
+
+bool quorum_core::batch_update_settled() const {
+  for (std::uint32_t i = 0; i < cl_.batch_n; ++i) {
+    if (!slot_settled(cl_.batch[i])) return false;
+  }
+  return true;
+}
+
+bool quorum_core::lease_reqs_met() const {
+  if (cl_.lease_req_mask == 0) return true;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if ((cl_.lease_req_mask >> i) & 1u) {
+      if (!cl_.responded[i]) return false;
+    }
+  }
+  return true;
+}
+
+void quorum_core::merge_lease_notes(const message& m) {
+  // Bits past the cluster size carry no meaning (leases require n <= 64,
+  // enforced by the driver); mask them off so settlement never waits on a
+  // process that does not exist.
+  const std::uint64_t live = n_ >= 64 ? ~0ULL : ((1ULL << n_) - 1);
+  for (const lease_note& nte : m.leases) {
+    const std::uint64_t mask = nte.holder_mask & live;
+    if (mask == 0) continue;
+    if (cl_.is_batch) {
+      if (batch_slot* s = find_slot(nte.reg)) s->lease_req_mask |= mask;
+    } else if (nte.reg == cl_.reg) {
+      cl_.lease_req_mask |= mask;
+    }
+  }
+}
+
+void quorum_core::drop_holding_on_update(const message& m, register_id reg) {
+  if (!pol_.read_leases) return;
+  if (holdings_.find(reg) != nullptr) {
+    holdings_.erase(reg);
+    branches_.lease_invalidations += 1;
+  }
+  // A grant in flight for this register is voided too — unless the update
+  // being served is the grant's own write-back (the floor anchoring itself).
+  if (cl_.lease_grant && !cl_.lease_canceled && cl_.phase != phase_kind::idle &&
+      cl_.reg == reg && !(m.from.index == self_.index && m.op_seq == cl_.op_seq)) {
+    cl_.lease_canceled = true;
+    branches_.lease_invalidations += 1;
+  }
+}
+
+void quorum_core::attach_lease_note_for(message& ack, register_id reg) {
+  const grantor_lease* g = granted_.find(reg);
+  if (g != nullptr && g->holder_mask != 0) {
+    ack.leases.push_back(lease_note{reg, g->holder_mask});
+  }
+}
+
+void quorum_core::attach_lease_notes(message& ack, const message& req) {
+  if (!pol_.read_leases || granted_.empty()) return;
+  if (req.is_batch()) {
+    for (const batch_entry& e : req.batch) attach_lease_note_for(ack, e.reg);
+  } else {
+    attach_lease_note_for(ack, req.reg);
+  }
 }
 
 bool quorum_core::ack_matches(const message& m) const {
   return m.op_seq == cl_.op_seq && m.epoch == epoch_ &&
          ((cl_.phase == phase_kind::write_query && m.round == 1) ||
           (cl_.phase == phase_kind::read_query && m.round == 1) ||
+          (cl_.phase == phase_kind::lease_grant && m.round == 1) ||
           (cl_.phase == phase_kind::write_update && m.round == 2) ||
           (cl_.phase == phase_kind::read_update && m.round == 2) ||
           (cl_.phase == phase_kind::recovery_update && m.round == 2));
@@ -428,8 +546,12 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
         cl_.max_sn = std::max(cl_.max_sn, m.ts.sn);
       }
       break;
+    case phase_kind::lease_grant:
     case phase_kind::read_query: {
-      if (m.kind != msg_kind::read_ack) return;
+      if (m.kind != (cl_.phase == phase_kind::lease_grant ? msg_kind::lease_grant_ack
+                                                          : msg_kind::read_ack)) {
+        return;
+      }
       if (cl_.is_batch) {
         for (const batch_entry& e : m.batch) {
           batch_slot* s = find_slot(e.reg);
@@ -461,6 +583,9 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
     case phase_kind::read_update:
     case phase_kind::recovery_update:
       if (m.kind != msg_kind::write_ack) return;
+      // The ack may name leaseholders this update must also hear from;
+      // widen the requirement before testing settlement below.
+      if (pol_.read_leases && !m.leases.empty()) merge_lease_notes(m);
       break;
     case phase_kind::idle:
     case phase_kind::write_prelog:
@@ -486,6 +611,10 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
     cl_.responded[m.from.index] = true;
     cl_.responses += 1;
     if (cl_.responses < quorum_size()) return;
+    // A majority is not enough while a noted leaseholder is silent: its ack
+    // is what proves the holder served (and thus invalidated against) this
+    // update. Retransmission keeps poking the silent holder.
+    if (in_update_phase() && !lease_reqs_met()) return;
   }
 
   // Quorum reached: advance the state machine.
@@ -506,6 +635,7 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
       proceed_after_query(out);
       break;
     }
+    case phase_kind::lease_grant:
     case phase_kind::read_query: {
       if (pol_.read_writeback) {
         message& wb = stage_msg(msg_kind::writeback, 2, cl_.depth);
@@ -534,6 +664,22 @@ void quorum_core::handle_ack(const message& m, outputs& out) {
       finish_operation(out);
       break;
     case phase_kind::read_update:
+      if (cl_.lease_grant && !cl_.lease_canceled) {
+        // Activate the holding: anchor the floor — just written back to a
+        // majority — in the local slot, and serve from it until revoked. If
+        // the slot got AHEAD of the floor (an earlier adoption the grant's
+        // ack majority missed), the local value is not known to be
+        // majority-anchored: skip activation rather than serve it.
+        replica_slot& rs = replicas_[cl_.reg];
+        if (rs.vtag < cl_.best_tag) {
+          rs.vtag = cl_.best_tag;
+          rs.vval = cl_.best_val;
+        }
+        if (!(cl_.best_tag < rs.vtag)) {
+          holdings_[cl_.reg] = cl_.lease_token;
+          branches_.lease_grants += 1;
+        }
+      }
       finish_operation(out);
       break;
     case phase_kind::recovery_update:
@@ -561,6 +707,8 @@ message& quorum_core::send_ack(const message& req, std::uint32_t depth, outputs&
   ack.log_depth = depth;
   ack.reg = req.reg;
   ack.batch.clear();
+  ack.leases.clear();
+  attach_lease_notes(ack, req);
   return ack;
 }
 
@@ -574,6 +722,9 @@ void quorum_core::serve_update(const message& m, outputs& out) {
   const bool adopt = (found != nullptr ? found->vtag : initial_tag) < m.ts;
   (adopt ? branches_.adoptions : branches_.stale_updates) += 1;
   if (adopt) {
+    // Adopting would move the slot off a lease's anchored floor: revoke the
+    // holding first. (Stale updates leave the slot — and the lease — alone.)
+    drop_holding_on_update(m, m.reg);
     // Insert only on adoption: registers merely heard about (stale
     // write-backs of the initial tag, retransmissions) hold no state here.
     replica_slot& rs = found != nullptr ? *found : replicas_[m.reg];
@@ -624,6 +775,7 @@ void quorum_core::serve_update_batch(const message& m, outputs& out) {
     }
     branches_.adoptions += 1;
     ++adopted;
+    drop_holding_on_update(m, e.reg);
     replica_slot& rs = found != nullptr ? *found : replicas_[e.reg];
     rs.vtag = e.ts;
     rs.vval = e.val;
@@ -718,6 +870,7 @@ void quorum_core::serve(const message& m, outputs& out) {
       ack.val.data.clear();
       ack.log_depth = m.log_depth;
       ack.reg = m.reg;
+      ack.leases.clear();
       if (m.is_batch()) {
         ack.ts = tag{};
         ack.batch.resize(m.batch.size());
@@ -743,6 +896,7 @@ void quorum_core::serve(const message& m, outputs& out) {
       ack.epoch = m.epoch;
       ack.log_depth = m.log_depth;
       ack.reg = m.reg;
+      ack.leases.clear();
       if (m.is_batch()) {
         ack.ts = tag{};
         ack.val.data.clear();
@@ -781,9 +935,82 @@ void quorum_core::serve(const message& m, outputs& out) {
       }
       return;
     }
+    case msg_kind::lease_grant: {
+      // Grantor side of a lease round. Record the holder in the volatile
+      // registry NOW (so any update served from here on carries the note),
+      // make the record durable, and defer the ack until the store lands —
+      // the ack's (tag, value) is read at ack-build time, so it reflects
+      // every update this replica served while the store was in flight.
+      if (m.from.index >= 64) return;  // leases require n <= 64 (driver-enforced)
+      grantor_lease& g = granted_[m.reg];
+      g.holder_mask |= 1ULL << m.from.index;
+      if (g.expiry_token != 0 && lease_tokens_.find(g.expiry_token) != nullptr) {
+        // A clock is already running for this register: let it re-arm for a
+        // fresh full duration when it fires instead of stacking timers. The
+        // record then lives at least serve-instant + duration, which still
+        // outlives every holder's own (send-time) clock.
+        g.rearm = true;
+      } else {
+        // Fresh full-duration clock from the serve instant: strictly later
+        // than the holder's send-time clock, so this record outlives every
+        // read the holder may serve under the lease.
+        g.expiry_token = fresh_token();
+        lease_tokens_[g.expiry_token] = lease_timer_target{m.reg, /*grantor=*/true};
+        out.lease_timers.push_back(timer_request{g.expiry_token, pol_.lease_duration});
+      }
+      if ((g.durable_mask >> m.from.index) & 1) {
+        // Re-grant to a holder the stable record already covers (the common
+        // case at the Zipf head, where every write triggers a re-grant):
+        // nothing new to make durable, so ack immediately. The (tag, value)
+        // is read now, same freshness argument as the deferred ack.
+        send_request& s = out.sends.emplace_slot();
+        s.to = m.from;
+        message& ack = s.msg;  // recycled slot: every field assigned
+        ack.kind = msg_kind::lease_grant_ack;
+        ack.from = self_;
+        ack.op_seq = m.op_seq;
+        ack.round = m.round;
+        ack.epoch = m.epoch;
+        const replica_slot* rs = replicas_.find(m.reg);
+        if (rs != nullptr) {
+          ack.ts = rs->vtag;
+          ack.val = rs->vval;  // copy-assign into retained capacity
+        } else {
+          ack.ts = initial_tag;
+          ack.val.data.clear();
+        }
+        ack.log_depth = m.log_depth;
+        ack.reg = m.reg;
+        ack.batch.clear();
+        ack.leases.clear();
+        return;
+      }
+      log_request& lr = out.logs.emplace_slot();  // recycled: all assigned
+      lr.key = lease_key_of(m.reg);
+      lr.record = encode(lease_record{g.holder_mask});
+      lr.token = fresh_token();
+      lr.ctx = exec_context::listener;
+      lr.depth_after = m.log_depth + 1;
+      lr.op_seq = m.op_seq;
+      lr.origin = m.from;
+      lr.epoch = m.epoch;
+      lr.obsoletes.clear();
+      pending_log& pl = pending_logs_[lr.token];
+      pl = pending_log{};
+      pl.k = pending_log::kind::lease_record;
+      pl.to = m.from;
+      pl.op_seq = m.op_seq;
+      pl.round = m.round;
+      pl.epoch = m.epoch;
+      pl.depth = m.log_depth + 1;
+      pl.reg = m.reg;
+      pl.lease_mask = g.holder_mask;
+      return;
+    }
     case msg_kind::sn_ack:
     case msg_kind::read_ack:
     case msg_kind::write_ack:
+    case msg_kind::lease_grant_ack:
       handle_ack(m, out);
       return;
   }
@@ -822,7 +1049,11 @@ void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
         ack.log_depth = ba->depth;
         ack.reg = default_register;
         ack.batch.clear();
-        for (const register_id reg : ba->regs) add_ack_coverage(ack, reg);
+        ack.leases.clear();
+        for (const register_id reg : ba->regs) {
+          add_ack_coverage(ack, reg);
+          attach_lease_note_for(ack, reg);
+        }
         batch_acks_.erase(pl.group);
         return;
       }
@@ -839,6 +1070,37 @@ void quorum_core::on_log_done(std::uint64_t token, outputs& out) {
       ack.log_depth = pl.depth;
       ack.reg = pl.reg;
       ack.batch.clear();
+      ack.leases.clear();
+      attach_lease_note_for(ack, pl.reg);
+      return;
+    }
+    case pending_log::kind::lease_record: {
+      // The grant is durable: ack with the replica's CURRENT (tag, value).
+      // Reading it now (not at receipt) is what makes the deferred ack safe:
+      // it is >= every update this replica served before answering, so the
+      // holder's floor covers them all.
+      grantor_lease* g = granted_.find(pl.reg);
+      if (g != nullptr) g->durable_mask = pl.lease_mask;
+      send_request& s = out.sends.emplace_slot();
+      s.to = pl.to;
+      message& ack = s.msg;  // recycled slot: every field assigned
+      ack.kind = msg_kind::lease_grant_ack;
+      ack.from = self_;
+      ack.op_seq = pl.op_seq;
+      ack.round = pl.round;
+      ack.epoch = pl.epoch;
+      const replica_slot* rs = replicas_.find(pl.reg);
+      if (rs != nullptr) {
+        ack.ts = rs->vtag;
+        ack.val = rs->vval;  // copy-assign into retained capacity
+      } else {
+        ack.ts = initial_tag;
+        ack.val.data.clear();
+      }
+      ack.log_depth = pl.depth;
+      ack.reg = pl.reg;
+      ack.batch.clear();
+      ack.leases.clear();
       return;
     }
     case pending_log::kind::writer_prelog: {
@@ -876,10 +1138,16 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
   const bool trim = pol_.trim_batch_retransmit && cl_.is_batch && in_update_phase();
   branches_.retransmits += 1;
   if (trim) branches_.retransmit_trims += 1;
-  const std::uint32_t q = quorum_size();
+  const std::size_t full_bytes = wire_size(cl_.current);
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (cl_.responded[i]) continue;
+    // Savings accounting (trim effectiveness): `full` charges what an
+    // untrimmed repeat to this process would cost; `sent` charges what
+    // actually hit the wire. Their per-retransmission ratio — not a
+    // total-traffic fraction — is the honest measure of the trim.
+    branches_.retransmit_bytes_full += full_bytes;
     if (!trim) {
+      branches_.retransmit_bytes_sent += full_bytes;
       send_request& s = out.sends.emplace_slot();
       s.to = process_id{i};
       s.msg = cl_.current;  // copy-assign into retained capacity
@@ -888,7 +1156,9 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
     send_request* s = nullptr;
     for (std::uint32_t j = 0; j < cl_.batch_n; ++j) {
       const batch_slot& sl = cl_.batch[j];
-      if (sl.ack_count >= q || sl.acked[i]) continue;  // nothing needed from i
+      // A slot needs nothing from i once it is settled (majority-durable
+      // AND every noted leaseholder heard) or i already acked it.
+      if (slot_settled(sl) || sl.acked[i]) continue;
       if (s == nullptr) {
         s = &out.sends.emplace_slot();
         s->to = process_id{i};
@@ -903,13 +1173,58 @@ void quorum_core::on_timer(std::uint64_t token, outputs& out) {
         mm.log_depth = cl_.current.log_depth;
         mm.reg = cl_.current.reg;
         mm.batch.clear();
+        mm.leases.clear();
       }
       // Slot j's staged entry is index-aligned with the live batch (every
       // update-round staging fills cl_.current.batch in slot order).
       s->msg.batch.push_back(cl_.current.batch[j]);
     }
+    if (s != nullptr) branches_.retransmit_bytes_sent += wire_size(s->msg);
   }
   arm_timer(out);
+}
+
+void quorum_core::on_lease_expiry(std::uint64_t token, outputs& out) {
+  check_input_allowed("on_lease_expiry");
+  const lease_timer_target* t = lease_tokens_.find(token);
+  if (t == nullptr) return;  // pre-crash or already-superseded deadline
+  const lease_timer_target tt = *t;
+  lease_tokens_.erase(token);
+  if (tt.grantor) {
+    grantor_lease* g = granted_.find(tt.reg);
+    if (g == nullptr || g->expiry_token != token) return;  // re-granted since
+    if (g->rearm) {
+      // Grants arrived while this clock ran: give the record one more full
+      // duration (covering the latest serve instant) instead of expiring.
+      g->rearm = false;
+      g->expiry_token = fresh_token();
+      lease_tokens_[g->expiry_token] = lease_timer_target{tt.reg, /*grantor=*/true};
+      out.lease_timers.push_back(timer_request{g->expiry_token, pol_.lease_duration});
+      return;
+    }
+    // The last grant's clock ran out. Every holder's own (send-time) clock
+    // expired strictly earlier, so no one is serving under this record:
+    // forget it, volatile and stable alike.
+    granted_.erase(tt.reg);
+    store_.erase(lease_key_of(tt.reg));
+    branches_.lease_expiries += 1;
+    return;
+  }
+  // Holder side: the serving window is over.
+  if (cl_.lease_grant && !cl_.lease_canceled && cl_.phase != phase_kind::idle &&
+      cl_.lease_token == token) {
+    // Grant round still in flight at its own deadline — completing it would
+    // activate an already-expired holding; void it (the read still finishes
+    // as a plain quorum read).
+    cl_.lease_canceled = true;
+    branches_.lease_expiries += 1;
+    return;
+  }
+  const std::uint64_t* h = holdings_.find(tt.reg);
+  if (h != nullptr && *h == token) {
+    holdings_.erase(tt.reg);
+    branches_.lease_expiries += 1;
+  }
 }
 
 // ---- Rebalancing hooks -------------------------------------------------------
@@ -921,6 +1236,17 @@ void quorum_core::adopt_if_newer(register_id reg, const tag& ts, const value& v)
     wsn_ = std::max(wsn_, ts.sn);
     return;
   }
+  // An imported (newer) value moves the slot off any lease floor: revoke,
+  // exactly as a served update would (no message context here, so a pending
+  // grant for the register is voided unconditionally — conservative).
+  if (pol_.read_leases) {
+    if (holdings_.erase(reg)) branches_.lease_invalidations += 1;
+    if (cl_.lease_grant && !cl_.lease_canceled && cl_.phase != phase_kind::idle &&
+        cl_.reg == reg) {
+      cl_.lease_canceled = true;
+      branches_.lease_invalidations += 1;
+    }
+  }
   replica_slot& rs = found != nullptr ? *found : replicas_[reg];
   rs.vtag = ts;
   rs.vval = v;
@@ -928,7 +1254,14 @@ void quorum_core::adopt_if_newer(register_id reg, const tag& ts, const value& v)
   wsn_ = std::max(wsn_, ts.sn);
 }
 
-void quorum_core::evict(register_id reg) { replicas_.erase(reg); }
+std::uint32_t quorum_core::evict(register_id reg) {
+  replicas_.erase(reg);
+  read_heat_.erase(reg);
+  std::uint32_t dropped = 0;
+  if (holdings_.erase(reg)) ++dropped;
+  if (granted_.erase(reg)) ++dropped;
+  return dropped;
+}
 
 void quorum_core::for_each_register(const std::function<void(register_id)>& fn) const {
   replicas_.for_each([&fn](register_id reg, const replica_slot&) { fn(reg); });
@@ -945,6 +1278,13 @@ void quorum_core::crash() {
   pending_logs_.clear();
   batch_acks_.clear();
   obsolete_prelogs_.clear();
+  // Lease state: holdings are volatile by design (a crash IS the holder's
+  // revocation); the grantor registry is re-read from stable storage during
+  // recovery; armed deadlines die with the incarnation.
+  granted_.clear();
+  holdings_.clear();
+  read_heat_.clear();
+  lease_tokens_.clear();
   // branches_ deliberately survives: it is a whole-run coverage diagnostic,
   // not protocol state, and zeroing it on crash would erase everything a
   // blackout-heavy schedule observed.
@@ -965,6 +1305,24 @@ void quorum_core::restore_volatile_from_stable() {
                     max_sn = std::max(max_sn, tv.ts.sn);
                   });
   wsn_ = max_sn;
+  // Grantor registry: every durably-noted lease is restored so updates
+  // served by this incarnation keep carrying the holder notes. Restoring a
+  // lease whose holder has since expired or crashed is merely conservative
+  // (the writer waits on one extra ack); forgetting a live one would let a
+  // write settle without the holder hearing of it.
+  granted_.clear();
+  holdings_.clear();
+  read_heat_.clear();
+  if (pol_.read_leases) {
+    store_.for_each(storage::record_area::lease,
+                    [&](register_id reg, const bytes& rec) {
+                      grantor_lease& g = granted_[reg];
+                      g.holder_mask = decode_lease(rec).holder_mask;
+                      // Restored FROM the stable record, so durable by
+                      // definition: re-grants can ack immediately.
+                      g.durable_mask = g.holder_mask;
+                    });
+  }
 }
 
 void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
@@ -976,6 +1334,22 @@ void quorum_core::recover(std::uint64_t new_epoch, outputs& out) {
   ready_ = false;
   epoch_ = new_epoch;
   restore_volatile_from_stable();
+
+  if (pol_.read_leases) {
+    // Restored grantor records get a fresh full-duration clock. Conservative
+    // on both sides: any pre-crash holder's clock started before the crash
+    // and so runs out before this fresh one, and no deadline needs to be
+    // made durable.
+    std::vector<register_id> regs;  // cold path
+    granted_.for_each(
+        [&regs](register_id reg, const grantor_lease&) { regs.push_back(reg); });
+    for (const register_id reg : regs) {
+      grantor_lease* g = granted_.find(reg);
+      g->expiry_token = fresh_token();
+      lease_tokens_[g->expiry_token] = lease_timer_target{reg, /*grantor=*/true};
+      out.lease_timers.push_back(timer_request{g->expiry_token, pol_.lease_duration});
+    }
+  }
 
   if (pol_.recovery_counter) {
     // Paper Fig. 5 Recover: rec := rec + 1; store(recovered, rec).

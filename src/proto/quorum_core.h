@@ -37,6 +37,39 @@
 // flawed variants used by the lower-bound tests are the same machine with a
 // step removed, exactly like the paper's proofs remove a log and derive a
 // violation.
+//
+// # Read leases (policy.read_leases)
+//
+// A process whose quorum reads keep hitting the same register turns the next
+// read's first round into a *grant* round (msg_kind::lease_grant): every
+// replica that answers first durably records (register, holder-bit) in the
+// `lease` stable area — through the same store_and_obsolete WAL path as every
+// other record — and only then acks with its (tag, value). The read then runs
+// its normal write-back round, anchoring the freshest (tag, value) — the
+// lease *floor* — at a majority, and the holder adopts the floor into its own
+// replica slot. From that point reads of the register complete locally with
+// zero messages, until one of three revocations:
+//
+//   * a served update (write round 2 or a read write-back) adopts a newer
+//     value at the holder — the holding is dropped before the adoption, so an
+//     active holding always serves exactly the majority-anchored floor;
+//   * the lease expires — the holder stops at grant-send + lease_duration,
+//     each grantor forgets at its record time + lease_duration (strictly
+//     later, since the grant message's network delay is positive: writers
+//     keep waiting for a holder at least as long as it may serve);
+//   * the holder crashes — holdings are volatile and recovery never restores
+//     them, which is what binds the lease to the holder's incarnation. The
+//     durable records are *grantor*-side only; a grantor's recovery restores
+//     its registry (conservative: it only makes writers wait).
+//
+// Writers learn of holders via lease notes attached to update-round acks and
+// must collect an ack from every noted holder before completing (on top of
+// the majority). Safety is quorum intersection: a completing update's
+// majority meets the grant's majority in some process r*, which either
+// recorded the grant before serving the update — its ack carries the note,
+// so the update waits for the holder, who drops its holding when it serves
+// the update — or served the update before answering the grant, in which
+// case the grant's floor already covers the update's tag.
 #pragma once
 
 #include <cstdint>
@@ -102,6 +135,11 @@ class quorum_core final : public register_core {
   /// Retransmission timer: re-broadcasts the in-flight phase's message
   /// (fair-lossy channels deliver a message sent infinitely often).
   void on_timer(std::uint64_t token, outputs& out) override;
+  /// A lease deadline (outputs::lease_timers) fired: the holder stops serving
+  /// locally, or the grantor forgets its record (and erases the stable copy —
+  /// pure compaction: a crash first merely restores an entry that expires
+  /// again). Stale and superseded tokens are ignored.
+  void on_lease_expiry(std::uint64_t token, outputs& out);
   /// Loses ALL volatile state (replica map, in-flight operation, pending
   /// acks); stable storage survives. The driver must discard every
   /// outstanding effect of this incarnation.
@@ -144,6 +182,15 @@ class quorum_core final : public register_core {
     std::uint64_t retransmits = 0;       // timer-driven phase re-broadcasts
     std::uint64_t retransmit_trims = 0;  // settled keys trimmed from those
     std::uint64_t recovery_finish_writes = 0;  // persistent recovery round 2
+    std::uint64_t leased_read_hits = 0;    // reads served locally under a lease
+    std::uint64_t leased_read_misses = 0;  // leases on, read paid the quorum round
+    std::uint64_t lease_grants = 0;        // grant rounds that activated a holding
+    std::uint64_t lease_invalidations = 0; // holdings dropped/canceled by an update
+    std::uint64_t lease_expiries = 0;      // holdings/records dropped by the clock
+    /// Retransmission byte accounting (bench: trimmed-repeat savings are
+    /// measured against retransmitted traffic, not total traffic).
+    std::uint64_t retransmit_bytes_sent = 0;  // wire bytes actually repeated
+    std::uint64_t retransmit_bytes_full = 0;  // bytes untrimmed repeats would cost
   };
   [[nodiscard]] const branch_stats& branches() const { return branches_; }
 
@@ -161,8 +208,11 @@ class quorum_core final : public register_core {
   /// past ts.sn so single-writer variants never re-mint a transferred tag.
   void adopt_if_newer(register_id reg, const tag& ts, const value& v);
   /// Drop `reg`'s volatile state (its routing moved away; the stable records
-  /// are erased separately by the driver). No-op if absent.
-  void evict(register_id reg);
+  /// are erased separately by the driver). No-op if absent. Returns the
+  /// number of lease-state entries dropped (an active holding and/or a
+  /// grantor record): leases never survive a handoff, and the router logs
+  /// the drop in its migration schedule.
+  std::uint32_t evict(register_id reg);
   /// Enumerate registers with volatile replica state, in unspecified order
   /// (callers sort; needed to build migration worklists under policies that
   /// never log, where stable storage cannot enumerate the namespace).
@@ -176,7 +226,8 @@ class quorum_core final : public register_core {
     write_update,    // round 2 of a write (W)
     read_query,      // round 1 of a read (R)
     read_update,     // round 2 of a read (write-back)
-    recovery_update  // persistent recovery's finish-write round
+    recovery_update, // persistent recovery's finish-write round
+    lease_grant      // round 1 of a lease-granting read (L)
   };
 
   /// One replica register's volatile state (paper: [sn, pid] and v).
@@ -203,6 +254,9 @@ class quorum_core final : public register_core {
     /// from retransmissions when the policy trims them.
     std::vector<bool> acked;  // indexed by process
     std::uint32_t ack_count = 0;
+    /// Leaseholders this register's update must additionally hear from
+    /// (merged from the acks' lease notes; bit h = process h).
+    std::uint64_t lease_req_mask = 0;
   };
 
   struct client_state {
@@ -230,6 +284,11 @@ class quorum_core final : public register_core {
     std::uint32_t batch_n = 0;
     std::vector<batch_slot> batch;
     std::uint32_t prelogs_pending = 0;  // outstanding (writing) stores
+    // Lease state of the in-flight op (see quorum_core.cpp, "Read leases").
+    bool lease_grant = false;     // this read's round 1 installs a lease
+    bool lease_canceled = false;  // grant voided (update served / expired)
+    std::uint64_t lease_token = 0;        // the grant's expiry-timer token
+    std::uint64_t lease_req_mask = 0;     // single-key update: noted holders
 
     /// Reset for the next operation, keeping buffer capacity (payload,
     /// best/first values, `current`'s value) so steady-state operation
@@ -253,6 +312,10 @@ class quorum_core final : public register_core {
       is_batch = false;
       batch_n = 0;
       prelogs_pending = 0;
+      lease_grant = false;
+      lease_canceled = false;
+      lease_token = 0;
+      lease_req_mask = 0;
       // `responded` is re-assigned per phase; `current` is fully re-staged
       // by stage_msg() before any phase reads it; batch slots are re-staged
       // by claim_slot() before use.
@@ -260,7 +323,12 @@ class quorum_core final : public register_core {
   };
 
   struct pending_log {
-    enum class kind : std::uint8_t { server_adopt, writer_prelog, recovery_counter };
+    enum class kind : std::uint8_t {
+      server_adopt,
+      writer_prelog,
+      recovery_counter,
+      lease_record  // grantor's (lease) store; ack the grant once durable
+    };
     kind k = kind::server_adopt;
     // server_adopt fields: the ack to send once durable.
     process_id to;
@@ -269,6 +337,9 @@ class quorum_core final : public register_core {
     std::uint64_t epoch = 0;
     std::uint32_t depth = 0;
     register_id reg = default_register;
+    /// lease_record: the holder mask snapshot the store carries — becomes
+    /// the grantor's durable_mask when the store lands.
+    std::uint64_t lease_mask = 0;
     /// Non-zero: this log belongs to a batched update; the ack is owned by
     /// the batch_ack group with this token and fires when all logs land.
     std::uint64_t group = 0;
@@ -337,6 +408,21 @@ class quorum_core final : public register_core {
   /// Queues the settled write's (writing) records for piggybacked erasure
   /// on the next pre-log (the paper's "writing record obsolete" note).
   void mark_prelogs_obsolete();
+  // ---- Read-lease helpers (see the file comment's "Read leases") ----
+  /// Drops/cancels any holding of `reg` because an update for it is being
+  /// served (`m` identifies the update, so a grant's own write-back never
+  /// cancels itself).
+  void drop_holding_on_update(const message& m, register_id reg);
+  /// Appends a lease note to an update-round ack for every served register
+  /// with a recorded grant (single-key `req.reg` or every batch entry).
+  void attach_lease_notes(message& ack, const message& req);
+  void attach_lease_note_for(message& ack, register_id reg);
+  /// Merges an update ack's lease notes into the op's holder requirement.
+  void merge_lease_notes(const message& m);
+  /// Every noted holder of the single-key op has acked.
+  [[nodiscard]] bool lease_reqs_met() const;
+  /// Batched update slot settled: own majority AND every noted holder.
+  [[nodiscard]] bool slot_settled(const batch_slot& s) const;
 
   const protocol_policy pol_;
   const process_id self_;
@@ -359,6 +445,36 @@ class quorum_core final : public register_core {
   /// single-writer core re-derives its counter from these records at
   /// recovery, so there they must outlive the write (see invoke_write).
   std::vector<storage::record_key> obsolete_prelogs_;
+  // ---- Read-lease state ----
+  /// Grantor side: who may be serving each register locally. Mirrors the
+  /// durable (lease) records; restored from them on recovery (with fresh
+  /// expiry timers), so a grantor crash never forgets a holder early.
+  struct grantor_lease {
+    std::uint64_t holder_mask = 0;
+    /// Holder bits covered by a COMPLETED (lease) store. A re-grant whose
+    /// bit is already durable is acked immediately — the stable record
+    /// already prevents resurrection, so there is nothing to wait for.
+    std::uint64_t durable_mask = 0;
+    std::uint64_t expiry_token = 0;  // latest timer wins; stale ones no-op
+    /// A grant arrived while the expiry clock was already running: instead
+    /// of stacking a second timer, the running one re-arms for a fresh full
+    /// duration when it fires. Only ever extends the record's life — the
+    /// safe direction for a grantor (holders' own clocks are never moved).
+    bool rearm = false;
+  };
+  flat_hash_map<register_id, grantor_lease, reg_hash> granted_;
+  /// Holder side: registers this process serves locally, mapped to the
+  /// grant's expiry token. Volatile ONLY — crash() clears it and recovery
+  /// never restores it; that is the incarnation binding.
+  flat_hash_map<register_id, std::uint64_t, reg_hash> holdings_;
+  /// Quorum-read miss counts driving the hot-key threshold.
+  flat_hash_map<register_id, std::uint32_t, reg_hash> read_heat_;
+  /// Live lease-expiry tokens -> what they expire.
+  struct lease_timer_target {
+    register_id reg = default_register;
+    bool grantor = false;
+  };
+  flat_hash_map<std::uint64_t, lease_timer_target, token_hash> lease_tokens_;
   branch_stats branches_;
   std::uint64_t op_counter_ = 0;
   std::uint64_t next_token_ = 1;

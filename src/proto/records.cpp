@@ -28,6 +28,20 @@ tagged_value_record decode_tagged_value(const bytes& b) {
   return rec;
 }
 
+bytes encode(const lease_record& r) {
+  byte_writer w;
+  w.put_u64(r.holder_mask);
+  return std::move(w).take();
+}
+
+lease_record decode_lease(const bytes& b) {
+  byte_reader r(b);
+  lease_record rec;
+  rec.holder_mask = r.get_u64();
+  r.expect_done();
+  return rec;
+}
+
 bytes encode(const recovery_record& r) {
   byte_writer w;
   w.put_i64(r.recoveries);

@@ -27,6 +27,9 @@ namespace remus::proto {
 [[nodiscard]] constexpr storage::record_key written_key_of(register_id reg) noexcept {
   return {storage::record_area::written, reg};
 }
+[[nodiscard]] constexpr storage::record_key lease_key_of(register_id reg) noexcept {
+  return {storage::record_area::lease, reg};
+}
 
 /// Default-register keys (the paper's single-register records), kept for the
 /// single-key call sites and tests.
@@ -49,6 +52,21 @@ struct tagged_value_record {
 /// path for the per-operation "writing"/"written" logs (no record temporary,
 /// no fresh buffer).
 void encode_tagged_value_into(bytes& out, const tag& ts, const value& val);
+
+/// A grantor's durable note of who may serve this register locally: one bit
+/// per holder process index (leases require n <= 64). The record survives the
+/// grantor's crash — recovery restores the registry, which is conservative:
+/// a restored holder only makes writers wait for that holder's ack; the
+/// holder itself forgets its (volatile) holding on crash, which is what binds
+/// the lease to the holder's incarnation.
+struct lease_record {
+  std::uint64_t holder_mask = 0;
+
+  friend bool operator==(const lease_record&, const lease_record&) = default;
+};
+
+[[nodiscard]] bytes encode(const lease_record& r);
+[[nodiscard]] lease_record decode_lease(const bytes& b);
 
 struct recovery_record {
   std::int64_t recoveries = 0;

@@ -15,6 +15,7 @@ const char* to_string(fault_family f) {
     case fault_family::gray_link: return "gray_link";
     case fault_family::migration: return "migration";
     case fault_family::corrupt_tail: return "corrupt_tail";
+    case fault_family::lease: return "lease";
   }
   return "?";
 }
@@ -193,6 +194,11 @@ void scenario_coverage::merge(const scenario_coverage& o) {
   handoff_writes += o.handoff_writes;
   handoff_drains += o.handoff_drains;
   handoff_writebacks += o.handoff_writebacks;
+  handoff_lease_drops += o.handoff_lease_drops;
+  leased_read_hits += o.leased_read_hits;
+  lease_grants += o.lease_grants;
+  lease_invalidations += o.lease_invalidations;
+  lease_expiries += o.lease_expiries;
 }
 
 std::string scenario_coverage::to_string() const {
@@ -216,7 +222,10 @@ std::string scenario_coverage::to_string() const {
      << " trims=" << retransmit_trims
      << " recovery_finish_writes=" << recovery_finish_writes
      << " handoffs(write/drain/writeback)=" << handoff_writes << '/'
-     << handoff_drains << '/' << handoff_writebacks;
+     << handoff_drains << '/' << handoff_writebacks
+     << " lease(grants/hits/invalidations/expiries/handoff_drops)="
+     << lease_grants << '/' << leased_read_hits << '/' << lease_invalidations
+     << '/' << lease_expiries << '/' << handoff_lease_drops;
   return os.str();
 }
 
@@ -352,9 +361,12 @@ scenario_plan make_adversarial_plan(const adversarial_config& cfg, rng& r,
       const std::uint32_t shard = static_cast<std::uint32_t>(r.next_below(cfg.shards));
       switch (family) {
         case fault_family::crash_recover:
-        case fault_family::corrupt_tail: {
+        case fault_family::corrupt_tail:
+        case fault_family::lease: {
           // Same unit shape (crash then recover); corrupt_tail's crash
-          // additionally mangles the WAL tail at the driver.
+          // additionally mangles the WAL tail at the driver, and a lease
+          // unit makes the driver run the plan with read leases enabled so
+          // the pair lands on leaseholders/grantors mid-lease.
           const process_id p{static_cast<std::uint32_t>(r.next_below(cfg.n))};
           const std::size_t slot = static_cast<std::size_t>(shard) * cfg.n + p.index;
           if (down_until[slot] >= at) break;  // already down around this time

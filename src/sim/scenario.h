@@ -58,8 +58,13 @@ enum class fault_family : std::uint8_t {
   gray_link = 3,
   migration = 4,
   corrupt_tail = 5,  // crash that damages the WAL tail (corrupt_crash)
+  /// Crash+recover pair aimed at the read-lease protocol: the driver runs
+  /// the plan with read leases enabled (short duration, hot-key threshold
+  /// low), so the pair lands on leaseholders and grantors — exercising
+  /// incarnation revocation, grantor-registry restore, and writer waits.
+  lease = 6,
 };
-inline constexpr std::size_t fault_family_count = 6;
+inline constexpr std::size_t fault_family_count = 7;
 [[nodiscard]] const char* to_string(fault_family f);
 
 enum class scenario_kind : std::uint8_t {
@@ -144,6 +149,11 @@ struct scenario_coverage {
   std::uint64_t handoff_writes = 0;      // migration: write-path handoffs
   std::uint64_t handoff_drains = 0;      // migration: background-drain handoffs
   std::uint64_t handoff_writebacks = 0;  // migration: window-read write-backs
+  std::uint64_t handoff_lease_drops = 0; // migration: lease state dropped at handoff
+  std::uint64_t leased_read_hits = 0;    // reads served locally under a lease
+  std::uint64_t lease_grants = 0;        // grant rounds that activated a holding
+  std::uint64_t lease_invalidations = 0; // holdings dropped/canceled by updates
+  std::uint64_t lease_expiries = 0;      // holdings/records dropped by the clock
 
   void merge(const scenario_coverage& o);
   [[nodiscard]] std::string to_string() const;
@@ -167,7 +177,7 @@ struct adversarial_config {
   /// Relative weight of each fault family (index = fault_family). A zero
   /// weight disables the family; migration is additionally capped at one
   /// unit per plan.
-  double weights[fault_family_count] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  double weights[fault_family_count] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
   /// Blackout storms: per-process recovery skew U[0, recovery_skew] on top
   /// of the common downtime (clock-skewed recovery storms).
   time_ns recovery_skew = 2 * 1000 * 1000;

@@ -37,6 +37,7 @@ enum class event_kind : std::uint8_t {
   op_dispatch,  // client pump at `target`: op handle `a` (or redispatch)
   crash,        // fault injection at `target`
   recover,
+  lease_expiry, // lease deadline at `target`: token `a`, guarded by `incarnation`
 };
 
 /// Sentinel for `sim_event::a` / `incarnation` meaning "no handle / no

@@ -7,49 +7,68 @@ void memory_store::store(record_key key, const bytes& record) {
   // operator[] inserts 0 for a fresh key; slot 0 is disambiguated by an
   // explicit key compare (cheaper than a sentinel scheme on this path).
   std::uint32_t& slot = index_[key];
-  if (slot < records_.size() && records_[slot].first == key) {
-    records_[slot].second = record;  // copy-assign reuses the stored buffer
+  if (slot < records_.size() && records_[slot].key == key && !records_[slot].dead) {
+    records_[slot].record = record;  // copy-assign reuses the stored buffer
     return;
   }
   slot = static_cast<std::uint32_t>(records_.size());
-  records_.emplace_back(key, record);
+  records_.push_back({key, record, false});
 }
 
 std::optional<bytes> memory_store::retrieve(record_key key) const {
   const std::uint32_t* slot = index_.find(key);
   if (slot == nullptr) return std::nullopt;
-  return records_[*slot].second;
+  return records_[*slot].record;
 }
 
 void memory_store::for_each(record_area area,
                             const std::function<void(register_id, const bytes&)>& fn) const {
-  for (const auto& [k, v] : records_) {
-    if (k.area == area) fn(k.reg, v);
+  for (const auto& e : records_) {
+    if (!e.dead && e.key.area == area) fn(e.key.reg, e.record);
   }
 }
 
 void memory_store::erase(record_key key) {
   const std::uint32_t* slot = index_.find(key);
   if (slot == nullptr) return;
-  // Cold path (rebalancing): compact the record vector in place so for_each
-  // keeps enumerating the surviving records in first-store order, then
-  // re-point every shifted entry's index slot.
-  const std::uint32_t at = *slot;
-  records_.erase(records_.begin() + at);
+  // Tombstone, not compaction: erase is on the lease-expiry hot path, and
+  // shifting the record vector plus re-pointing every moved index slot made
+  // it O(live records) per call. Dead entries are skipped by for_each (so
+  // survivors keep enumerating in first-store order) and reclaimed in bulk
+  // once they outnumber the living.
+  records_[*slot].dead = true;
+  records_[*slot].record.clear();
+  ++dead_;
   index_.erase(key);
-  for (std::uint32_t i = at; i < records_.size(); ++i) {
-    index_[records_[i].first] = i;
+  if (dead_ > records_.size() / 2 && records_.size() >= 64) compact();
+}
+
+void memory_store::compact() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    if (records_[r].dead) continue;
+    if (w != r) records_[w] = std::move(records_[r]);
+    ++w;
+  }
+  records_.resize(w);
+  dead_ = 0;
+  index_.clear();
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    index_[records_[i].key] = i;
   }
 }
 
 void memory_store::wipe() {
   records_.clear();
   index_.clear();
+  dead_ = 0;
 }
 
 std::size_t memory_store::footprint() const {
   std::size_t total = 0;
-  for (const auto& [k, v] : records_) total += sizeof(k) + v.size();
+  for (const auto& e : records_) {
+    if (!e.dead) total += sizeof(e.key) + e.record.size();
+  }
   return total;
 }
 

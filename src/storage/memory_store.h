@@ -32,13 +32,26 @@ class memory_store final : public stable_store {
     }
   };
 
+  struct entry {
+    record_key key;
+    bytes record;
+    /// Erased in place (tombstone): skipped by for_each, bulk-reclaimed by
+    /// compact() once the dead outnumber the living. Keeps erase O(1) on
+    /// the lease-expiry hot path while survivors enumerate in first-store
+    /// order, same as eager compaction did.
+    bool dead = false;
+  };
+
+  void compact();
+
   // Insertion-ordered record vector (for_each enumerates in first-store
   // order — deterministic across identically-driven runs) with a flat-hash
   // index keyed by record_key, so the per-log store path stays O(1) even
   // with thousands of registers — and allocation-free in steady state (the
   // value buffer is reused in place).
-  std::vector<std::pair<record_key, bytes>> records_;
+  std::vector<entry> records_;
   flat_hash_map<record_key, std::uint32_t, key_hash> index_;
+  std::uint32_t dead_ = 0;
   std::uint64_t stores_ = 0;
 };
 

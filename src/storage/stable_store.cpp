@@ -7,6 +7,7 @@ std::string to_string(record_area a) {
     case record_area::writing: return "writing";
     case record_area::written: return "written";
     case record_area::recovered: return "recovered";
+    case record_area::lease: return "lease";
   }
   return "?";
 }

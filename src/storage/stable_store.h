@@ -33,6 +33,7 @@ enum class record_area : std::uint8_t {
   writing = 1,    // writer pre-log (persistent emulation)
   written = 2,    // replica's adopted (tag, value)
   recovered = 3,  // recovery counter (transient emulation; register-agnostic)
+  lease = 4,      // grantor's read-lease record (holder bitmask per register)
 };
 
 [[nodiscard]] std::string to_string(record_area a);
@@ -52,7 +53,9 @@ struct record_key {
   /// "written-42"); drivers charge this against disk bandwidth. Constexpr so
   /// the hot path never materializes the string.
   [[nodiscard]] constexpr std::size_t encoded_size() const noexcept {
-    const std::size_t base = area == record_area::recovered ? 9 : 7;
+    const std::size_t base = area == record_area::recovered ? 9
+                             : area == record_area::lease   ? 5
+                                                            : 7;
     if (reg == default_register) return base;
     std::size_t digits = 1;
     for (register_id r = reg; r >= 10; r /= 10) ++digits;

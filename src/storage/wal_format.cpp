@@ -37,7 +37,8 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
 bool valid_area(std::uint8_t a) {
   return a == static_cast<std::uint8_t>(record_area::writing) ||
          a == static_cast<std::uint8_t>(record_area::written) ||
-         a == static_cast<std::uint8_t>(record_area::recovered);
+         a == static_cast<std::uint8_t>(record_area::recovered) ||
+         a == static_cast<std::uint8_t>(record_area::lease);
 }
 
 }  // namespace

@@ -477,6 +477,7 @@ TEST(ScenarioFuzz, RegressionCorpusReplaysClean) {
   ASSERT_GE(files.size(), 3u);
   std::size_t replayed = 0;
   std::size_t corrupt_units = 0;
+  std::size_t lease_units = 0;
   for (const std::filesystem::path& file : files) {
     std::ifstream in(file);
     std::string line;
@@ -485,6 +486,7 @@ TEST(ScenarioFuzz, RegressionCorpusReplaysClean) {
       const scenario_spec spec = scenario_spec::decode(line);
       for (const sim::scenario_event& e : spec.plan.events) {
         corrupt_units += e.kind == sim::scenario_kind::corrupt_crash ? 1 : 0;
+        lease_units += e.family == sim::fault_family::lease ? 1 : 0;
       }
       const scenario_outcome out = run_scenario(spec);
       EXPECT_TRUE(out.ok()) << file.filename() << ": " << out.failure
@@ -494,6 +496,7 @@ TEST(ScenarioFuzz, RegressionCorpusReplaysClean) {
   }
   EXPECT_GE(replayed, 5u);
   EXPECT_GT(corrupt_units, 0u) << "corpus lost its corrupt_tail coverage";
+  EXPECT_GT(lease_units, 0u) << "corpus lost its lease-revocation coverage";
 }
 
 TEST(ScenarioFuzz, CleanMigrationWindowUnderSameScheduleIsAtomic) {
