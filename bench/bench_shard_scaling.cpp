@@ -24,10 +24,19 @@
 // *merged* multi-shard history — scale numbers from histories that stopped
 // linearizing are worthless. --json[=PATH] emits machine-readable results
 // (BENCH_shard_scaling.json).
+//
+// `--threads N` sets the simulator worker pool (shard_router_config::workers,
+// 0 = one per hardware thread; see shard_router.h "Parallel execution"). The
+// worker-pool section runs the 8-shard uniform case at 1 worker and at the
+// pool size and reports the wall-clock aggregate speedup — the virtual-time
+// numbers must be bit-identical at both (hard gate: worker count may never
+// change results), so only the wall columns move.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -60,16 +69,19 @@ struct scaling_result {
   std::uint64_t completed_keyed_ops = 0;
   std::uint64_t events = 0;
   double wall_ms = 0;
-  double events_per_sec = 0;
+  double events_per_sec = 0;       // wall-clock aggregate simulator speed
+  double keyed_ops_per_wall_sec = 0;  // wall-clock aggregate op completion rate
   bool verified = false;
   bool atomic = true;
   std::size_t keys_checked = 0;
 };
 
-scaling_result run_case(const scaling_case& sc, std::uint32_t ops, std::uint64_t seed) {
+scaling_result run_case(const scaling_case& sc, std::uint32_t ops, std::uint64_t seed,
+                        std::uint32_t workers = 1) {
   core::shard_router_config cfg;
   cfg.shards = sc.shards;
   cfg.base = paper_testbed(proto::persistent_policy(), 3, seed);
+  cfg.workers = workers;
   core::shard_router router(cfg);
 
   sim::kv_workload_config wc;
@@ -132,6 +144,9 @@ scaling_result run_case(const scaling_case& sc, std::uint32_t ops, std::uint64_t
           : 0;
   r.events_per_sec =
       r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.events) / r.wall_ms : 0;
+  r.keyed_ops_per_wall_sec =
+      r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.completed_keyed_ops) / r.wall_ms
+                    : 0;
 
   // Verify unconditionally: the per-key checker costs milliseconds at these
   // sizes, and capacity numbers from a history that stopped linearizing
@@ -152,6 +167,10 @@ scaling_result run_case(const scaling_case& sc, std::uint32_t ops, std::uint64_t
 int main(int argc, char** argv) {
   const bool smoke = flag_present(argc, argv, "--smoke");
   const std::uint32_t ops = smoke ? 600 : 4000;
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // --threads N: worker pool for the scaling pair (0 or absent = min(8, hw)).
+  const std::uint32_t threads_flag = flag_u32(argc, argv, "--threads", 0);
+  const std::uint32_t pool = threads_flag != 0 ? threads_flag : std::min(8u, hw);
 
   const std::vector<scaling_case> cases = {
       {"s1_uniform", 1, 0.0, 1, false},
@@ -170,11 +189,12 @@ int main(int argc, char** argv) {
       "== Shard scaling (%s, %u logical ops, 256 keys, n=3 persistent/shard) ==\n",
       smoke ? "smoke" : "full", ops);
   metrics::table t({"case", "keyed ops/vsec", "makespan ms", "ops", "Mevents/s",
-                    "atomic"});
+                    "ops/s wall", "atomic"});
 
   json_report rep("shard_scaling");
   rep.set("mode", smoke ? "smoke" : "full");
   rep.set("logical_ops_submitted", static_cast<double>(ops));
+  rep.set("hardware_concurrency", static_cast<double>(hw));
 
   bool all_atomic = true;
   double uniform_by_shards[4] = {0, 0, 0, 0};  // s1, s2, s4, s8
@@ -189,6 +209,7 @@ int main(int argc, char** argv) {
                metrics::table::num(r.makespan_ms, 1),
                metrics::table::num(static_cast<double>(r.completed_keyed_ops), 0),
                metrics::table::num(r.events_per_sec / 1e6, 2),
+               metrics::table::num(r.keyed_ops_per_wall_sec, 0),
                r.verified ? (r.atomic ? "yes" : "NO") : "-"});
     const std::string prefix = sc.name;
     rep.set(prefix + "_keyed_ops_per_vsec", r.keyed_ops_per_vsec);
@@ -196,6 +217,7 @@ int main(int argc, char** argv) {
     rep.set(prefix + "_completed_keyed_ops",
             static_cast<double>(r.completed_keyed_ops));
     rep.set(prefix + "_events_per_sec", r.events_per_sec);
+    rep.set(prefix + "_keyed_ops_per_wall_sec", r.keyed_ops_per_wall_sec);
     if (r.verified) {
       rep.set(prefix + "_atomic_per_key", r.atomic ? 1.0 : 0.0);
       rep.set(prefix + "_keys_checked", static_cast<double>(r.keys_checked));
@@ -216,15 +238,77 @@ int main(int argc, char** argv) {
   rep.set("uniform_scaling_4_over_1",
           uniform_by_shards[0] > 0 ? uniform_by_shards[2] / uniform_by_shards[0] : 0);
 
+  // ---- Worker-pool wall-clock scaling (the parallel simulator driver) ----
+  //
+  // Same 8-shard uniform workload, sequential driver vs a pool of `pool`
+  // workers. Virtual-time results must be bit-identical (worker count is
+  // invisible to the emulation — hard gate); the wall columns measure how
+  // much real time the shard independence buys.
+  const std::uint32_t pair_ops = smoke ? 2000 : ops;
+  const scaling_case pair_case{"s8_uniform", 8, 0.0, 1, false};
+  std::printf("== Worker-pool scaling (s8 uniform, %u logical ops, %u hw threads) ==\n",
+              pair_ops, hw);
+  // Wall-clock noise dominates single runs on shared machines: best of 3.
+  scaling_result seq, par;
+  for (int i = 0; i < 3; ++i) {
+    const auto s = run_case(pair_case, pair_ops, 1, 1);
+    if (s.events_per_sec > seq.events_per_sec) seq = s;
+    const auto p = run_case(pair_case, pair_ops, 1, pool);
+    if (p.events_per_sec > par.events_per_sec) par = p;
+  }
+  metrics::table wt({"workers", "wall ms", "Mevents/s", "ops/s wall",
+                     "keyed ops/vsec", "atomic"});
+  wt.add_row({"1", metrics::table::num(seq.wall_ms, 1),
+              metrics::table::num(seq.events_per_sec / 1e6, 2),
+              metrics::table::num(seq.keyed_ops_per_wall_sec, 0),
+              metrics::table::num(seq.keyed_ops_per_vsec, 0),
+              seq.atomic ? "yes" : "NO"});
+  wt.add_row({std::to_string(pool), metrics::table::num(par.wall_ms, 1),
+              metrics::table::num(par.events_per_sec / 1e6, 2),
+              metrics::table::num(par.keyed_ops_per_wall_sec, 0),
+              metrics::table::num(par.keyed_ops_per_vsec, 0),
+              par.atomic ? "yes" : "NO"});
+  std::printf("%s", wt.render().c_str());
+  const double speedup =
+      seq.events_per_sec > 0 ? par.events_per_sec / seq.events_per_sec : 0;
+  const bool deterministic_across_workers =
+      seq.completed_keyed_ops == par.completed_keyed_ops &&
+      seq.makespan_ms == par.makespan_ms && seq.events == par.events;
+  std::printf("aggregate wall-clock speedup at %u workers: %.2fx%s\n\n", pool,
+              speedup,
+              deterministic_across_workers ? "" : "  (RESULTS DIVERGED!)");
+  if (!par.atomic) all_atomic = false;
+  rep.set("threads_pool", static_cast<double>(pool));
+  rep.set("threads_pair_logical_ops", static_cast<double>(pair_ops));
+  rep.set("threads_s8_events_per_sec_w1", seq.events_per_sec);
+  rep.set("threads_s8_events_per_sec_wN", par.events_per_sec);
+  rep.set("threads_s8_ops_per_wall_sec_w1", seq.keyed_ops_per_wall_sec);
+  rep.set("threads_s8_ops_per_wall_sec_wN", par.keyed_ops_per_wall_sec);
+  rep.set("threads_speedup_8shards", speedup);
+  rep.set("threads_deterministic", deterministic_across_workers ? 1.0 : 0.0);
+
   rep.write_if_requested(argc, argv);
 
   if (!all_atomic) {
     std::fprintf(stderr, "FAIL: a run violated per-key atomicity\n");
     return 1;
   }
+  if (!deterministic_across_workers) {
+    std::fprintf(stderr,
+                 "FAIL: worker count changed virtual-time results (determinism "
+                 "broke)\n");
+    return 1;
+  }
   if (!smoke && !monotonic) {
     std::fprintf(stderr,
                  "FAIL: keyed ops/vsec not monotonic over 1 -> 2 -> 4 shards\n");
+    return 1;
+  }
+  // Wall-clock gate: a multi-worker pool on a multi-core machine must beat
+  // the sequential driver. Meaningless (and skipped) on one hardware thread.
+  if (smoke && pool > 1 && hw > 1 && speedup <= 1.0) {
+    std::fprintf(stderr, "FAIL: %u workers gave %.2fx <= 1.0x on %u cores\n",
+                 pool, speedup, hw);
     return 1;
   }
   return 0;

@@ -12,36 +12,49 @@
 //   * crash-heavy     — 5 processes under rolling minority crash/recovery
 //     churn (fault-injection replay throughput).
 //
+//   * parallel router — 8 independent shards advanced by the worker-pool
+//     driver (`--threads N`, default min(8, hardware)): aggregate wall-clock
+//     events/sec at 1 worker vs the pool, the multi-threaded simulator's
+//     headline.
+//
 // Run with --smoke for a CI-sized run, --json[=PATH] for machine-readable
 // output (BENCH_sim_throughput.json).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "bench_util.h"
+#include "core/shard_router.h"
 
 // ---- Global allocation counting ---------------------------------------------
 // Replacing the global throwing operators is enough: the nothrow and array
 // forms forward here by default. Counting is process-wide, which is exactly
-// what "allocations per simulated event" should charge.
+// what "allocations per simulated event" should charge. Atomic (relaxed)
+// because the parallel-router workload allocates from pool threads; relaxed
+// is fine — the benches only read the counters at quiescent points.
 
 namespace {
-std::uint64_t g_allocs = 0;
-std::uint64_t g_alloc_bytes = 0;
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
 }  // namespace
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
-  g_alloc_bytes += n;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc{};
 }
 
 void* operator new(std::size_t n, std::align_val_t al) {
-  ++g_allocs;
-  g_alloc_bytes += n;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
   const std::size_t a = static_cast<std::size_t>(al);
   const std::size_t rounded = (n + a - 1) / a * a;
   if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
@@ -137,14 +150,14 @@ engine_result run_queue_microbench(std::uint64_t total_events, bool typed) {
   while (q.executed() < warm && q.step()) {
   }
   engine_result r;
-  const std::uint64_t a0 = g_allocs;
+  const std::uint64_t a0 = allocs_now();
   const std::uint64_t e0 = q.executed();
   const auto t0 = clock_type::now();
   while (q.step()) {
   }
   r.wall_ms = ms_since(t0);
   r.events = q.executed() - e0;
-  r.allocs = g_allocs - a0;
+  r.allocs = allocs_now() - a0;
   finalize(r);
   return r;
 }
@@ -174,13 +187,13 @@ engine_result run_fault_free(std::uint32_t n, int ops_per_process, std::uint64_t
 
   enqueue(ops_per_process);
   engine_result r;
-  const std::uint64_t a0 = g_allocs;
+  const std::uint64_t a0 = allocs_now();
   const std::uint64_t e0 = c.events_executed();
   const auto t0 = clock_type::now();
   c.run_until_idle();
   r.wall_ms = ms_since(t0);
   r.events = c.events_executed() - e0;
-  r.allocs = g_allocs - a0;
+  r.allocs = allocs_now() - a0;
   for (const auto h : handles) {
     if (c.result(h).completed) ++r.completed_ops;
   }
@@ -225,18 +238,62 @@ engine_result run_crash_heavy(int rounds, std::uint64_t seed) {
   }
 
   engine_result r2;
-  const std::uint64_t a0 = g_allocs;
+  const std::uint64_t a0 = allocs_now();
   const std::uint64_t e0 = c.events_executed();
   const auto t0 = clock_type::now();
   c.run_until_idle(200'000'000);
   r2.wall_ms = ms_since(t0);
   r2.events = c.events_executed() - e0;
-  r2.allocs = g_allocs - a0;
+  r2.allocs = allocs_now() - a0;
   for (const auto h : handles) {
     if (c.result(h).completed) ++r2.completed_ops;
   }
   finalize(r2);
   return r2;
+}
+
+// ---- Workload 4: parallel shard fan-out -------------------------------------
+// Eight independent quorum groups behind a shard_router, advanced by the
+// worker-pool driver. The same workload runs at workers=1 and workers=pool;
+// virtual-time results are bit-identical (the determinism pin's territory),
+// so the two rows differ only in wall clock — aggregate events/sec across
+// all shards is the multi-threaded simulator's headline number.
+
+engine_result run_parallel_router(std::uint32_t workers, int ops, std::uint64_t seed) {
+  core::shard_router_config cfg;
+  cfg.shards = 8;
+  cfg.base = paper_testbed(proto::persistent_policy(), 3, seed);
+  cfg.workers = workers;
+  core::shard_router router(cfg);
+
+  rng wr(seed ^ 0x5eed);
+  std::uint32_t v = 1;
+  time_ns t = 0;
+  std::vector<core::shard_router::op_handle> handles;
+  for (int i = 0; i < ops; ++i) {
+    for (std::uint32_t p = 0; p < router.procs_per_shard(); ++p) {
+      const register_id reg = wr.next_below(256);
+      if (wr.chance(0.5)) {
+        handles.push_back(router.submit_write(process_id{p}, reg, value_of_u32(v++), t));
+      } else {
+        handles.push_back(router.submit_read(process_id{p}, reg, t));
+      }
+      t += 100_us;
+    }
+  }
+
+  engine_result r;
+  const std::uint64_t a0 = allocs_now();
+  const auto t0 = clock_type::now();
+  router.run_until_idle(2'000'000'000);
+  r.wall_ms = ms_since(t0);
+  r.events = router.events_executed();
+  r.allocs = allocs_now() - a0;
+  for (const auto h : handles) {
+    if (router.result(h).completed) ++r.completed_ops;
+  }
+  finalize(r);
+  return r;
 }
 
 void add_row(metrics::table& t, const char* name, const engine_result& r) {
@@ -257,15 +314,26 @@ int main(int argc, char** argv) {
   // runs, so cluster workloads report the best of a few repetitions.
   const int reps = smoke ? 2 : 3;
 
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t threads_flag = flag_u32(argc, argv, "--threads", 0);
+  const std::uint32_t pool = threads_flag != 0 ? threads_flag : std::min(8u, hw);
+  const int router_ops = smoke ? 250 : 1500;
+
   const auto qt = run_queue_microbench(queue_events, /*typed=*/true);
   const auto qf = run_queue_microbench(queue_events, /*typed=*/false);
-  engine_result ff, ch;
+  engine_result ff, ch, rt1, rtn;
   for (int i = 0; i < reps; ++i) {
     const auto f = run_fault_free(3, ff_ops, 1);
     if (f.events_per_sec > ff.events_per_sec) ff = f;
     const auto c = run_crash_heavy(churn_rounds, 7);
     if (c.events_per_sec > ch.events_per_sec) ch = c;
+    const auto r1 = run_parallel_router(1, router_ops, 3);
+    if (r1.events_per_sec > rt1.events_per_sec) rt1 = r1;
+    const auto rn = run_parallel_router(pool, router_ops, 3);
+    if (rn.events_per_sec > rtn.events_per_sec) rtn = rn;
   }
+  const double router_speedup =
+      rt1.events_per_sec > 0 ? rtn.events_per_sec / rt1.events_per_sec : 0;
 
   std::printf("== Simulator engine throughput (%s, best of %d) ==\n",
               smoke ? "smoke" : "full", reps);
@@ -274,11 +342,17 @@ int main(int argc, char** argv) {
   add_row(t, "queue thunk fallback", qf);
   add_row(t, "fault-free n=3", ff);
   add_row(t, "crash-heavy n=5", ch);
+  add_row(t, "router s8 w1", rt1);
+  const std::string rtn_name = "router s8 w" + std::to_string(pool);
+  add_row(t, rtn_name.c_str(), rtn);
   std::printf("%s", t.render().c_str());
   std::printf("(fault-free completed %llu ops, crash-heavy %llu; typed queue "
-              "steady state must stay at 0 allocs/event)\n\n",
+              "steady state must stay at 0 allocs/event; router pair is the\n"
+              " same 8-shard workload at 1 vs %u workers — %.2fx aggregate "
+              "wall-clock on %u hw threads, virtual results identical)\n\n",
               static_cast<unsigned long long>(ff.completed_ops),
-              static_cast<unsigned long long>(ch.completed_ops));
+              static_cast<unsigned long long>(ch.completed_ops), pool,
+              router_speedup, hw);
 
   json_report rep("sim_throughput");
   rep.set("mode", smoke ? "smoke" : "full");
@@ -294,7 +368,26 @@ int main(int argc, char** argv) {
   rep.set("crash_heavy_allocs_per_event", ch.allocs_per_event);
   rep.set("crash_heavy_events", static_cast<double>(ch.events));
   rep.set("crash_heavy_completed_ops", static_cast<double>(ch.completed_ops));
+  rep.set("hardware_concurrency", static_cast<double>(hw));
+  rep.set("router8_workers", static_cast<double>(pool));
+  rep.set("router8_events_per_sec_w1", rt1.events_per_sec);
+  rep.set("router8_events_per_sec_wN", rtn.events_per_sec);
+  rep.set("router8_wall_speedup", router_speedup);
+  rep.set("router8_completed_ops", static_cast<double>(rtn.completed_ops));
   rep.write_if_requested(argc, argv);
+
+  // Worker count must never change the emulation: same events, same
+  // completions at 1 worker and at the pool.
+  if (rt1.events != rtn.events || rt1.completed_ops != rtn.completed_ops) {
+    std::fprintf(stderr,
+                 "FAIL: worker pool changed simulated results "
+                 "(events %llu vs %llu, ops %llu vs %llu)\n",
+                 static_cast<unsigned long long>(rt1.events),
+                 static_cast<unsigned long long>(rtn.events),
+                 static_cast<unsigned long long>(rt1.completed_ops),
+                 static_cast<unsigned long long>(rtn.completed_ops));
+    return 1;
+  }
 
   // CI gate: the typed steady-state queue must be allocation-free per event.
   // A handful of one-time container high-water growths are amortized O(0);

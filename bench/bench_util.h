@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -101,6 +102,23 @@ class json_report {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+/// Parses `--flag N` / `--flag=N`; returns `fallback` when absent.
+[[nodiscard]] inline std::uint32_t flag_u32(int argc, char** argv, std::string_view flag,
+                                            std::uint32_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      return static_cast<std::uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return static_cast<std::uint32_t>(
+          std::strtoul(arg.data() + flag.size() + 1, nullptr, 10));
+    }
+  }
+  return fallback;
 }
 
 /// Configuration mirroring the paper's testbed (section V-A).

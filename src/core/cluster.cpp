@@ -1,6 +1,8 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/error.h"
@@ -8,6 +10,30 @@
 #include "storage/wal_format.h"
 
 namespace remus::core {
+
+#if !defined(NDEBUG) || defined(REMUS_SINGLE_CONSUMER_CHECKS)
+cluster::consumer_guard::consumer_guard(const cluster& c) : c_(c) {
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (!c_.consumer_.compare_exchange_strong(expected, me,
+                                            std::memory_order_acquire) &&
+      expected != me) {
+    // Two threads inside one cluster at once: a shard-confinement bug in
+    // whoever drives this cluster (see the guard's contract in cluster.h).
+    std::fprintf(stderr,
+                 "remus: cluster single-consumer violation — a second thread "
+                 "entered a cluster another thread is still driving\n");
+    std::abort();
+  }
+  ++c_.consumer_depth_;  // owned by the consumer thread; plain is race-free
+}
+
+cluster::consumer_guard::~consumer_guard() {
+  if (--c_.consumer_depth_ == 0) {
+    c_.consumer_.store(std::thread::id{}, std::memory_order_release);
+  }
+}
+#endif
 
 cluster::cluster(cluster_config cfg)
     : cfg_(std::move(cfg)), net_(cfg_.net, rng(cfg_.seed ^ 0x6e657477ULL)),
@@ -89,6 +115,7 @@ std::uint64_t cluster::durable_stores(process_id p) const {
 
 cluster::op_handle cluster::submit_write(process_id p, register_id reg, value v,
                                          time_ns at) {
+  const consumer_guard guard(*this);
   (void)node_at(p);  // validate
   op_result r;
   r.submitted = true;
@@ -103,6 +130,7 @@ cluster::op_handle cluster::submit_write(process_id p, register_id reg, value v,
 }
 
 cluster::op_handle cluster::submit_read(process_id p, register_id reg, time_ns at) {
+  const consumer_guard guard(*this);
   (void)node_at(p);
   op_result r;
   r.submitted = true;
@@ -118,6 +146,7 @@ cluster::op_handle cluster::submit_read(process_id p, register_id reg, time_ns a
 cluster::op_handle cluster::submit_write_batch(process_id p,
                                                std::vector<proto::write_op> ops,
                                                time_ns at) {
+  const consumer_guard guard(*this);
   (void)node_at(p);
   if (ops.empty()) throw driver_error("cluster: empty write batch");
   op_result r;
@@ -134,6 +163,7 @@ cluster::op_handle cluster::submit_write_batch(process_id p,
 
 cluster::op_handle cluster::submit_read_batch(process_id p, std::vector<register_id> regs,
                                               time_ns at) {
+  const consumer_guard guard(*this);
   (void)node_at(p);
   if (regs.empty()) throw driver_error("cluster: empty read batch");
   op_result r;
@@ -150,6 +180,7 @@ cluster::op_handle cluster::submit_read_batch(process_id p, std::vector<register
 }
 
 void cluster::submit_crash(process_id p, time_ns at, crash_style style) {
+  const consumer_guard guard(*this);
   (void)node_at(p);
   // The style rides in the event's `a` payload (POD tagged-union field).
   queue_.schedule_plain(std::max(at, now()), sim::event_kind::crash, p,
@@ -157,6 +188,7 @@ void cluster::submit_crash(process_id p, time_ns at, crash_style style) {
 }
 
 void cluster::submit_recover(process_id p, time_ns at) {
+  const consumer_guard guard(*this);
   if (cfg_.policy.crash_stop) {
     throw driver_error("cluster: recovery is impossible in the crash-stop model");
   }
@@ -177,13 +209,18 @@ void cluster::apply(const sim::fault_plan& plan, time_ns offset) {
 // ---- Execution ---------------------------------------------------------------
 
 bool cluster::run_until_idle(std::uint64_t max_events) {
+  const consumer_guard guard(*this);
   queue_.run(max_events);
   return queue_.empty();
 }
 
-void cluster::run_for(time_ns d) { queue_.run_until(now() + d); }
+void cluster::run_for(time_ns d) {
+  const consumer_guard guard(*this);
+  queue_.run_until(now() + d);
+}
 
 value cluster::read(process_id p, register_id reg) {
+  const consumer_guard guard(*this);
   const op_handle h = submit_read(p, reg, now());
   while (!results_[h].completed && queue_.step()) {
   }
@@ -192,6 +229,7 @@ value cluster::read(process_id p, register_id reg) {
 }
 
 void cluster::write(process_id p, register_id reg, value v) {
+  const consumer_guard guard(*this);
   const op_handle h = submit_write(p, reg, std::move(v), now());
   while (!results_[h].completed && queue_.step()) {
   }
@@ -528,6 +566,7 @@ void cluster::finish_active_op(process_id p, const proto::op_outcome& oc) {
 // ---- Register state transfer (shard rebalancing) -----------------------------
 
 cluster::register_snapshot cluster::export_register(register_id reg) const {
+  const consumer_guard guard(*this);
   register_snapshot snap;
   snap.reg = reg;
   for (const auto& nd : nodes_) {
@@ -568,6 +607,7 @@ cluster::register_snapshot cluster::export_register(register_id reg) const {
 }
 
 void cluster::import_register(const register_snapshot& snap) {
+  const consumer_guard guard(*this);
   if (!snap.has_state) return;
   // Finish a pending write on arrival (the migration plays the role of the
   // source writer's recovery): the installed state is the freshest of the
@@ -609,6 +649,7 @@ void cluster::import_register(const register_snapshot& snap) {
 }
 
 std::uint32_t cluster::evict_register(register_id reg) {
+  const consumer_guard guard(*this);
   std::uint32_t leases_dropped = 0;
   for (const auto& nd : nodes_) {
     nd->store->erase(proto::writing_key_of(reg));
@@ -633,6 +674,7 @@ std::uint32_t cluster::evict_register(register_id reg) {
 
 void cluster::for_each_register_with_state(
     const std::function<void(register_id)>& fn) const {
+  const consumer_guard guard(*this);
   std::vector<register_id> regs;
   for (const auto& nd : nodes_) {
     const auto collect = [&regs](register_id reg, const bytes&) { regs.push_back(reg); };

@@ -29,11 +29,13 @@
 // no heap allocation in the simulation substrate.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/config.h"
@@ -331,7 +333,33 @@ class cluster final : private sim::sim_executor {
   std::vector<op_result> results_;
   std::uint64_t recovery_stores_ = 0;
 
-  // Hot-path scratch (single-threaded; none of these cross a reentrant call).
+  // Single-consumer guard. A cluster is *shard-confined*: exactly one thread
+  // may be inside its public surface at a time, but ownership may migrate —
+  // the parallel shard driver hands a shard to a different worker each
+  // window, with the barrier's release/acquire ordering making the handoff
+  // race-free. Debug builds (and -DREMUS_SINGLE_CONSUMER_CHECKS, which the
+  // TSan CI job sets so the RelWithDebInfo build keeps the checks) verify
+  // the contract at every entry point: a second thread entering while one is
+  // inside aborts with a diagnostic. Reentrant calls on the owning thread
+  // nest (sync read/write re-enter the stepping path).
+#if !defined(NDEBUG) || defined(REMUS_SINGLE_CONSUMER_CHECKS)
+  struct consumer_guard {
+    explicit consumer_guard(const cluster& c);
+    ~consumer_guard();
+    consumer_guard(const consumer_guard&) = delete;
+    consumer_guard& operator=(const consumer_guard&) = delete;
+    const cluster& c_;
+  };
+  mutable std::atomic<std::thread::id> consumer_{};
+  mutable std::uint32_t consumer_depth_ = 0;
+#else
+  struct consumer_guard {
+    explicit consumer_guard(const cluster&) {}
+  };
+#endif
+
+  // Hot-path scratch (shard-confined like the cluster itself: only the
+  // current consumer thread touches these, and none cross a reentrant call).
   std::vector<process_id> all_processes_;
   std::vector<process_id> unicast_to_;
   std::vector<register_id> batch_regs_scratch_;

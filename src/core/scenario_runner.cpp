@@ -92,12 +92,13 @@ scenario_spec scenario_spec::decode(const std::string& line) {
   return spec;
 }
 
-scenario_outcome run_scenario(const scenario_spec& spec) {
+scenario_outcome run_scenario(const scenario_spec& spec, std::uint32_t workers) {
   scenario_outcome out;
   const sim::scenario_plan& plan = spec.plan;
 
   shard_router_config cfg;
   cfg.shards = plan.shards;
+  cfg.workers = workers;
   cfg.base.n = plan.n;
   cfg.base.policy =
       spec.policy == 't' ? proto::transient_policy() : proto::persistent_policy();

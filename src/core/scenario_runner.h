@@ -81,8 +81,12 @@ struct scenario_outcome {
 };
 
 /// Runs the spec to completion (deterministic: outcome is a pure function of
-/// the spec) and checks per-key atomicity and per-key tag order.
-[[nodiscard]] scenario_outcome run_scenario(const scenario_spec& spec);
+/// the spec — `workers` changes wall-clock time only, never the outcome; the
+/// parallel determinism pin leans on exactly that) and checks per-key
+/// atomicity and per-key tag order. `workers` maps to
+/// shard_router_config::workers (1 = sequential, 0 = hardware concurrency).
+[[nodiscard]] scenario_outcome run_scenario(const scenario_spec& spec,
+                                            std::uint32_t workers = 1);
 
 /// Delta-debugging minimization of a failing spec: sim::minimize_plan over
 /// the fault plan interleaved with workload shrinking (halve the key set and

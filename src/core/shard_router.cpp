@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/error.h"
@@ -16,10 +17,22 @@ constexpr time_ns no_time = std::numeric_limits<time_ns>::max();
 /// enough that cross-shard timestamps stay comparable at protocol
 /// granularity, large enough that a round retires a whole message exchange.
 constexpr time_ns lockstep_window = 100 * 1000;  // 100 us
+/// Chunk of the no-window drain fast path: events one shard runs between two
+/// budget-check barriers. Big enough that barrier cost vanishes (tens of ms
+/// of simulation per chunk), small enough that max_events stays enforced at
+/// useful granularity.
+constexpr std::uint64_t drain_chunk_events = 1u << 18;
+
+std::uint32_t resolve_workers(std::uint32_t workers) {
+  if (workers != 0) return workers;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 }  // namespace
 
 shard_router::shard_router(shard_router_config cfg)
-    : cfg_(std::move(cfg)), ring_(cfg_.shards, cfg_.vnodes, /*epoch=*/0) {
+    : cfg_(std::move(cfg)),
+      driver_(sim::make_shard_driver(resolve_workers(cfg_.workers))),
+      ring_(cfg_.shards, cfg_.vnodes, /*epoch=*/0) {
   // (shards == 0 already rejected by ring_'s constructor.)
   if (cfg_.drain_keys_per_pump == 0) {
     throw driver_error("shard_router: drain_keys_per_pump must be >= 1");
@@ -447,11 +460,34 @@ void shard_router::apply(std::uint32_t s, const sim::fault_plan& plan, time_ns o
 
 bool shard_router::run_until_idle(std::uint64_t max_events) {
   const std::uint64_t start = events_executed();
+  const auto count = static_cast<std::uint32_t>(shards_.size());
   for (;;) {
+    if (!migrating_) {
+      // No window open: shards share nothing at all, so each drains its own
+      // queue straight to idle — no lockstep, barriers only at budget
+      // checks. Chunked so max_events stays enforced; each worker writes
+      // only its own idle slot, read after the barrier. Clock alignment is
+      // restored by the final sync_clocks_to (mid-run clock skew between
+      // independent shards is unobservable).
+      idle_scratch_.assign(count, 1);
+      driver_->run_indexed(count, [&](std::uint32_t s) {
+        if (!shards_[s]->run_until_idle(drain_chunk_events)) idle_scratch_[s] = 0;
+      });
+      if (events_executed() - start > max_events) return false;
+      if (std::find(idle_scratch_.begin(), idle_scratch_.end(), 0) ==
+          idle_scratch_.end()) {
+        break;
+      }
+      continue;
+    }
     // Merged-order scheduling: find the earliest pending event anywhere,
     // then run *every* shard through a lockstep window covering it. Shards
     // are independent, so intra-window interleaving cannot change any
-    // shard's behavior; the window only keeps the clocks aligned.
+    // shard's behavior; the window only keeps the clocks aligned — which
+    // the migration machinery needs, because handoff timestamps and the
+    // drain schedule read the shared clock. The per-window advance fans out
+    // over the driver; pump_migration (all cross-shard work) runs at the
+    // barrier, where every shard sits on the common boundary.
     time_ns next = no_time;
     for (const auto& s : shards_) next = std::min(next, s->next_event_time());
     if (next == no_time) {
@@ -459,7 +495,7 @@ bool shard_router::run_until_idle(std::uint64_t max_events) {
       // all quiet now; keep pumping (still budgeted per round) until the
       // drain converges or stalls (a stall is impossible by construction,
       // but guards against an unforeseen live-lock).
-      if (migrating_ && !migration_drained()) {
+      if (!migration_drained()) {
         const std::size_t before = drain_worklist_.size() + writebacks_.size();
         pump_migration();
         if (drain_worklist_.size() + writebacks_.size() < before) continue;
@@ -467,9 +503,10 @@ bool shard_router::run_until_idle(std::uint64_t max_events) {
       break;
     }
     const time_ns target = next + lockstep_window;
-    for (const auto& s : shards_) {
-      if (target > s->now()) s->run_for(target - s->now());
-    }
+    driver_->run_indexed(count, [&](std::uint32_t s) {
+      cluster& c = *shards_[s];
+      if (target > c.now()) c.run_for(target - c.now());
+    });
     pump_migration();
     if (events_executed() - start > max_events) return false;
   }
@@ -483,9 +520,11 @@ void shard_router::run_for(time_ns d) {
 }
 
 void shard_router::sync_clocks_to(time_ns t) {
-  for (const auto& s : shards_) {
-    if (t > s->now()) s->run_for(t - s->now());
-  }
+  driver_->run_indexed(static_cast<std::uint32_t>(shards_.size()),
+                       [&](std::uint32_t s) {
+                         cluster& c = *shards_[s];
+                         if (t > c.now()) c.run_for(t - c.now());
+                       });
 }
 
 value shard_router::read(process_id p, register_id reg) {

@@ -89,6 +89,30 @@
 // workload, reconfiguration calls) — the migration schedule included
 // (shard_router_test pins this). Key placement is additionally
 // seed-independent (see hash_ring).
+//
+// # Parallel execution (cfg.workers)
+//
+// Because independence is total, the S event queues can be advanced by a
+// worker pool (sim::shard_driver) instead of one thread — same histories,
+// more cores. The discipline is *window barriers*: workers only ever run
+// disjoint shards between two synchronization points, and every piece of
+// cross-shard work (routing, handoff export/import/evict, drain pumping,
+// write-backs, result merging) happens on the calling thread between
+// run_indexed calls. Concretely:
+//
+//   * no window open — shards share nothing, so each drains its own queue
+//     to idle in budgeted chunks with barriers only at budget checks;
+//   * window open — the classic merged-virtual-time lockstep loop runs
+//     unchanged, except the per-window "advance every shard to the target"
+//     step fans out over the pool; pump_migration() runs at the barrier.
+//
+// Worker count is invisible to results: every scheduling decision (window
+// targets, chunk boundaries, pump order) is computed at barriers from state
+// that is identical under any worker count, and each shard's execution is a
+// pure function of its own inputs. Hence same seed => bit-identical merged
+// history, tagged operations, and migration_log at workers = 1, 2, or N —
+// tests/parallel_driver_test.cpp pins exactly that. Each cluster asserts the
+// confinement contract in debug builds (cluster.h, consumer_guard).
 #pragma once
 
 #include <cstdint>
@@ -98,6 +122,7 @@
 #include "common/flat_hash.h"
 #include "core/cluster.h"
 #include "core/hash_ring.h"
+#include "sim/driver.h"
 
 namespace remus::core {
 
@@ -117,6 +142,12 @@ struct shard_router_config {
   /// while a migration window is open (>= 1). Lower stretches the window;
   /// higher converges faster but bursts import work.
   std::uint32_t drain_keys_per_pump = 4;
+  /// Simulator worker threads (see "Parallel execution" in the file
+  /// comment): 1 = sequential driver, k > 1 = pool of k threads advancing
+  /// disjoint shards between window barriers, 0 = one per hardware thread.
+  /// Any value produces bit-identical results; > 1 buys wall-clock speed
+  /// once shard_count() > 1.
+  std::uint32_t workers = 1;
 
   /// Deliberate migration-path bugs, injectable under test only: the
   /// scenario fuzzer's catch-and-minimize acceptance check plants one and
@@ -346,6 +377,13 @@ class shard_router final {
   void register_writeback(std::size_t op_index);
 
   shard_router_config cfg_;
+  /// Advances disjoint shards between barriers (sequential or pooled — see
+  /// cfg_.workers). All cross-shard state above is touched only between
+  /// run_indexed calls, on the calling thread.
+  std::unique_ptr<sim::shard_driver> driver_;
+  /// Per-shard idle flags for the chunked drain (each worker writes only its
+  /// own slot; read after the barrier).
+  std::vector<std::uint8_t> idle_scratch_;
   hash_ring ring_;                        // target topology (current epoch)
   std::unique_ptr<hash_ring> prev_ring_;  // retiring topology during a window
   hash_ring::delta delta_;                // ownership changes old -> new

@@ -8,7 +8,7 @@ namespace remus::runtime {
 
 service::service(service_options opt) : opt_(std::move(opt)) {
   if (opt_.n == 0) throw driver_error("service: n must be >= 1");
-  net_ = std::make_unique<transport>(opt_.net, opt_.seed);
+  net_ = std::make_unique<datagram_transport>(opt_.net, opt_.seed);
   stores_.reserve(opt_.n);
   nodes_.reserve(opt_.n);
   for (std::uint32_t i = 0; i < opt_.n; ++i) {

@@ -1,0 +1,375 @@
+#include "runtime/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace remus::runtime {
+
+namespace {
+
+// epoll_event.data.u64 encoding: what kind of fd fired, and which one.
+enum class fd_kind : std::uint32_t { listener = 0, wake = 1, peer = 2, conn = 3 };
+
+std::uint64_t tag(fd_kind k, std::uint32_t v) {
+  return (static_cast<std::uint64_t>(k) << 32) | v;
+}
+
+constexpr auto reconnect_backoff = std::chrono::milliseconds(50);
+
+void append_frame(bytes& out, const bytes& wire) {
+  const auto len = static_cast<std::uint32_t>(wire.size());
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  out.insert(out.end(), wire.begin(), wire.end());
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+tcp_transport::tcp_transport(tcp_transport_options opt) : opt_(opt) {
+  if (opt_.n == 0 || opt_.self >= opt_.n) {
+    throw driver_error("tcp_transport: self must be < n");
+  }
+  if (opt_.base_port == 0) {
+    throw driver_error("tcp_transport: base_port must be nonzero");
+  }
+  peers_.resize(opt_.n);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw driver_error("tcp_transport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(opt_.base_port + opt_.self));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    throw driver_error(std::string("tcp_transport: bind/listen failed: ") +
+                       std::strerror(e));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    throw driver_error("tcp_transport: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = tag(fd_kind::listener, 0);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = tag(fd_kind::wake, 0);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+tcp_transport::~tcp_transport() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_thread_.join();
+  for (peer_state& ps : peers_) {
+    if (ps.fd >= 0) ::close(ps.fd);
+  }
+  for (auto& [fd, c] : conns_) ::close(fd);
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void tcp_transport::attach(process_id p, handler h) {
+  std::lock_guard lk(mu_);
+  handlers_[p.index] = std::move(h);
+}
+
+void tcp_transport::detach(process_id p) {
+  std::lock_guard lk(mu_);
+  handlers_.erase(p.index);
+}
+
+void tcp_transport::send(process_id to, const proto::message& m) {
+  const bytes wire = proto::encode(m);
+  bool wake = false;
+  {
+    std::lock_guard lk(mu_);
+    ++sent_;
+    if (!to.valid() || to.index >= opt_.n) {
+      ++dropped_;
+      return;
+    }
+    if (to.index == opt_.self) {
+      self_queue_.push_back(wire);
+      wake = true;
+    } else {
+      peer_state& ps = peers_[to.index];
+      if (ps.pending.size() + wire.size() + 4 > opt_.max_pending_bytes) {
+        ++dropped_;  // backpressure: drop the whole frame, never block
+        return;
+      }
+      append_frame(ps.pending, wire);
+      ps.pending_frames += 1;
+      wake = true;
+    }
+  }
+  if (wake) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void tcp_transport::broadcast(std::uint32_t n, const proto::message& m) {
+  for (std::uint32_t i = 0; i < n; ++i) send(process_id{i}, m);
+}
+
+std::uint64_t tcp_transport::datagrams_sent() const {
+  std::lock_guard lk(mu_);
+  return sent_;
+}
+
+std::uint64_t tcp_transport::datagrams_dropped() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
+}
+
+void tcp_transport::drop_peer_connection(peer_state& ps) {
+  // Caller holds mu_. Everything buffered rides the dead connection down —
+  // the stream's delivery-or-not is all-or-nothing per frame from the
+  // protocol's point of view, and retransmission recovers.
+  if (ps.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ps.fd, nullptr);
+    ::close(ps.fd);
+    ps.fd = -1;
+  }
+  ps.connecting = false;
+  dropped_ += ps.pending_frames;
+  ps.pending.clear();
+  ps.pending_frames = 0;
+  ps.next_attempt = std::chrono::steady_clock::now() + reconnect_backoff;
+}
+
+void tcp_transport::ensure_connected(peer_state& ps, std::uint32_t idx) {
+  // Caller holds mu_; only the loop thread calls this.
+  if (ps.fd >= 0 || ps.pending.empty()) return;
+  if (std::chrono::steady_clock::now() < ps.next_attempt) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    drop_peer_connection(ps);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(opt_.base_port + idx));
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    ps.fd = fd;
+    ps.connecting = rc != 0;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.u64 = tag(fd_kind::peer, idx);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (!ps.connecting) flush_peer(ps, idx);
+  } else {
+    ::close(fd);
+    drop_peer_connection(ps);  // refused: peer not up yet; backoff applies
+  }
+}
+
+void tcp_transport::flush_peer(peer_state& ps, std::uint32_t idx) {
+  // Caller holds mu_; only the loop thread calls this.
+  while (!ps.pending.empty()) {
+    const ssize_t n = ::write(ps.fd, ps.pending.data(), ps.pending.size());
+    if (n > 0) {
+      ps.pending.erase(ps.pending.begin(), ps.pending.begin() + n);
+      if (ps.pending.empty()) ps.pending_frames = 0;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    drop_peer_connection(ps);
+    return;
+  }
+  epoll_event ev{};
+  ev.events = ps.pending.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT);
+  ev.data.u64 = tag(fd_kind::peer, idx);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, ps.fd, &ev);
+}
+
+void tcp_transport::close_conn(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  std::lock_guard lk(mu_);
+  conns_.erase(fd);
+}
+
+void tcp_transport::deliver_frame(const bytes& wire) {
+  handler h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = handlers_.find(opt_.self);
+    if (it == handlers_.end()) {
+      ++dropped_;  // crashed node: dead socket semantics
+      return;
+    }
+    h = it->second;  // copy so the handler can detach safely
+  }
+  try {
+    h(proto::decode_message(wire));
+  } catch (...) {
+    // Malformed frame: drop it, keep the stream (framing is intact).
+  }
+}
+
+void tcp_transport::read_conn(int fd) {
+  bytes* buf;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    buf = &it->second.buf;
+  }
+  // Only the loop thread touches conn buffers after insertion, so reading
+  // *buf without the lock is single-threaded.
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf->insert(buf->end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_conn(fd);  // EOF or error; any partial frame dies with the stream
+    return;
+  }
+  std::size_t off = 0;
+  while (buf->size() - off >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>((*buf)[off]) |
+                              (static_cast<std::uint32_t>((*buf)[off + 1]) << 8) |
+                              (static_cast<std::uint32_t>((*buf)[off + 2]) << 16) |
+                              (static_cast<std::uint32_t>((*buf)[off + 3]) << 24);
+    if (len > opt_.max_frame_bytes) {
+      close_conn(fd);  // desynced or hostile stream
+      return;
+    }
+    if (buf->size() - off - 4 < len) break;
+    const bytes frame(buf->begin() + off + 4, buf->begin() + off + 4 + len);
+    off += 4 + len;
+    deliver_frame(frame);
+  }
+  if (off > 0) buf->erase(buf->begin(), buf->begin() + off);
+}
+
+void tcp_transport::drain_self_queue() {
+  std::vector<bytes> frames;
+  {
+    std::lock_guard lk(mu_);
+    frames.swap(self_queue_);
+  }
+  for (const bytes& wire : frames) deliver_frame(wire);
+}
+
+void tcp_transport::loop() {
+  epoll_event events[64];
+  for (;;) {
+    // The timeout drives reconnect backoff expiry; nothing else is timed.
+    const int nev = ::epoll_wait(epoll_fd_, events, 64, 20);
+    {
+      std::lock_guard lk(mu_);
+      if (stop_) return;
+    }
+    for (int i = 0; i < nev; ++i) {
+      const auto kind = static_cast<fd_kind>(events[i].data.u64 >> 32);
+      const auto idx = static_cast<std::uint32_t>(events[i].data.u64);
+      switch (kind) {
+        case fd_kind::listener: {
+          for (;;) {
+            const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (fd < 0) break;
+            {
+              std::lock_guard lk(mu_);
+              conns_[fd] = conn_state{fd, {}};
+            }
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.u64 = tag(fd_kind::conn, static_cast<std::uint32_t>(fd));
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+          }
+          break;
+        }
+        case fd_kind::wake: {
+          std::uint64_t val;
+          while (::read(wake_fd_, &val, sizeof(val)) > 0) {
+          }
+          break;
+        }
+        case fd_kind::peer: {
+          std::lock_guard lk(mu_);
+          peer_state& ps = peers_[idx];
+          if (ps.fd < 0) break;  // dropped since the event was queued
+          if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+            drop_peer_connection(ps);
+            break;
+          }
+          if (ps.connecting) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(ps.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err != 0) {
+              drop_peer_connection(ps);
+              break;
+            }
+            ps.connecting = false;
+          }
+          flush_peer(ps, idx);
+          break;
+        }
+        case fd_kind::conn:
+          read_conn(static_cast<int>(idx));
+          break;
+      }
+    }
+    drain_self_queue();
+    // Kick pending outbound legs: fresh sends (woken above) and expired
+    // reconnect backoffs alike.
+    {
+      std::lock_guard lk(mu_);
+      for (std::uint32_t p = 0; p < opt_.n; ++p) {
+        peer_state& ps = peers_[p];
+        if (ps.fd < 0) {
+          ensure_connected(ps, p);
+        } else if (!ps.connecting && !ps.pending.empty()) {
+          flush_peer(ps, p);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace remus::runtime

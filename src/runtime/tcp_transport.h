@@ -1,0 +1,112 @@
+// Real-socket transport: the emulation's first steps off the simulator and
+// onto an actual network stack.
+//
+// One tcp_transport instance serves one process of an n-process group.
+// Process i listens on 127.0.0.1:(base_port + i); sends lazily open a
+// non-blocking connection to the peer's port. Frames are length-prefixed
+// proto::encode images ([u32 LE length][payload]), so the same codec that
+// crosses the simulated wire crosses the kernel's.
+//
+// Datagram semantics over a stream: the quorum protocol assumes fair-lossy
+// messaging and owns reliability (retransmission, epoch nonces), so this
+// transport deliberately keeps UDP-shaped delivery guarantees — a frame
+// either arrives whole or not at all, and is dropped without notice when
+//   * the peer is not listening yet / anymore (connect fails, connection
+//     resets — everything buffered on that connection goes with it),
+//   * the peer's outbound buffer is full (bounded per-peer pending bytes),
+//   * the receiving process has no handler attached (crashed node).
+// Reconnection is automatic with a short backoff; the protocol's
+// retransmission machinery papers over every loss, exactly as it does over
+// the simulator's coin-flip drops.
+//
+// Threading: one epoll thread per transport owns every socket. send() only
+// appends to a per-peer buffer under a mutex and wakes the epoll thread via
+// eventfd; handlers run on the epoll thread (the `transport` contract).
+// Self-sends take the same path — queued, woken, delivered asynchronously —
+// so delivery order to the local handler never depends on who sent.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace remus::runtime {
+
+struct tcp_transport_options {
+  /// Group size: peers are processes 0 .. n-1.
+  std::uint32_t n = 3;
+  /// Process i listens on base_port + i (loopback only). Must be nonzero.
+  std::uint16_t base_port = 0;
+  /// Which process this instance is.
+  std::uint32_t self = 0;
+  /// Per-peer outbound buffer cap; whole frames are dropped beyond it.
+  std::size_t max_pending_bytes = 1u << 20;
+  /// Frames larger than this on the inbound side indicate a desynced or
+  /// hostile stream; the connection is dropped.
+  std::uint32_t max_frame_bytes = 1u << 24;
+};
+
+class tcp_transport final : public transport {
+ public:
+  explicit tcp_transport(tcp_transport_options opt);
+  ~tcp_transport() override;
+
+  tcp_transport(const tcp_transport&) = delete;
+  tcp_transport& operator=(const tcp_transport&) = delete;
+
+  void attach(process_id p, handler h) override;
+  void detach(process_id p) override;
+
+  void send(process_id to, const proto::message& m) override;
+  void broadcast(std::uint32_t n, const proto::message& m) override;
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const override;
+  [[nodiscard]] std::uint64_t datagrams_dropped() const override;
+
+ private:
+  /// Outbound leg to one peer. All fields owned by the epoll thread except
+  /// `pending`, which send() appends to under mu_.
+  struct peer_state {
+    int fd = -1;
+    bool connecting = false;
+    bytes pending;  // queued frames, possibly partially written
+    std::uint32_t pending_frames = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+  };
+  /// Inbound connection (accepted); reassembles frames.
+  struct conn_state {
+    int fd = -1;
+    bytes buf;
+  };
+
+  void loop();
+  void ensure_connected(peer_state& ps, std::uint32_t idx);
+  void flush_peer(peer_state& ps, std::uint32_t idx);
+  void drop_peer_connection(peer_state& ps);
+  void read_conn(int fd);
+  void close_conn(int fd);
+  void deliver_frame(const bytes& wire);
+  void drain_self_queue();
+
+  tcp_transport_options opt_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, handler> handlers_;
+  std::vector<peer_state> peers_;      // indexed by process
+  std::map<int, conn_state> conns_;    // accepted fds
+  std::vector<bytes> self_queue_;      // frames to self, drained by the loop
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool stop_ = false;
+  std::thread loop_thread_;
+};
+
+}  // namespace remus::runtime

@@ -2,12 +2,12 @@
 
 namespace remus::runtime {
 
-transport::transport(transport_options opt, std::uint64_t seed)
+datagram_transport::datagram_transport(transport_options opt, std::uint64_t seed)
     : opt_(opt), rng_(seed ^ 0x7472616e73ULL) {
   pump_thread_ = std::thread([this] { pump(); });
 }
 
-transport::~transport() {
+datagram_transport::~datagram_transport() {
   {
     std::lock_guard lk(mu_);
     stop_ = true;
@@ -16,17 +16,17 @@ transport::~transport() {
   pump_thread_.join();
 }
 
-void transport::attach(process_id p, handler h) {
+void datagram_transport::attach(process_id p, handler h) {
   std::lock_guard lk(mu_);
   handlers_[p.index] = std::move(h);
 }
 
-void transport::detach(process_id p) {
+void datagram_transport::detach(process_id p) {
   std::lock_guard lk(mu_);
   handlers_.erase(p.index);
 }
 
-void transport::enqueue_copy(process_id to, const bytes& wire) {
+void datagram_transport::enqueue_copy(process_id to, const bytes& wire) {
   // Caller holds mu_.
   ++sent_;
   if (opt_.drop_probability > 0 && rng_.chance(opt_.drop_probability)) {
@@ -42,7 +42,7 @@ void transport::enqueue_copy(process_id to, const bytes& wire) {
   queue_.push(packet{due, seq_++, to, wire});
 }
 
-void transport::send(process_id to, const proto::message& m) {
+void datagram_transport::send(process_id to, const proto::message& m) {
   const bytes wire = proto::encode(m);
   {
     std::lock_guard lk(mu_);
@@ -54,7 +54,7 @@ void transport::send(process_id to, const proto::message& m) {
   cv_.notify_all();
 }
 
-void transport::broadcast(std::uint32_t n, const proto::message& m) {
+void datagram_transport::broadcast(std::uint32_t n, const proto::message& m) {
   const bytes wire = proto::encode(m);
   {
     std::lock_guard lk(mu_);
@@ -68,17 +68,17 @@ void transport::broadcast(std::uint32_t n, const proto::message& m) {
   cv_.notify_all();
 }
 
-std::uint64_t transport::datagrams_sent() const {
+std::uint64_t datagram_transport::datagrams_sent() const {
   std::lock_guard lk(mu_);
   return sent_;
 }
 
-std::uint64_t transport::datagrams_dropped() const {
+std::uint64_t datagram_transport::datagrams_dropped() const {
   std::lock_guard lk(mu_);
   return dropped_;
 }
 
-void transport::pump() {
+void datagram_transport::pump() {
   std::unique_lock lk(mu_);
   while (true) {
     if (stop_) return;

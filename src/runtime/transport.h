@@ -1,10 +1,22 @@
-// In-process datagram transport for the threaded runtime.
+// Transport interface for the threaded runtime, plus the in-process datagram
+// implementation.
 //
-// Models the paper's UDP + IP-multicast setup (section V-A): unreliable,
-// unordered, connectionless. Messages cross the wire format (encode/decode)
-// so the codec is exercised; a scheduler thread applies configurable delay
-// and jitter; drops and duplicates are coin flips. A node that is not
-// registered (crashed) silently loses its traffic, like a dead UDP socket.
+// `transport` is the runtime half of the protocol/execution split (see
+// sim/driver.h for the simulator half): runtime::node drives a quorum_core
+// purely off delivered inputs, and everything wire-shaped hides behind this
+// interface. Two implementations exist — `datagram_transport` below (an
+// in-process model of the paper's UDP + IP-multicast setup, with a scheduler
+// thread applying delay/jitter/drop/duplication) and `tcp_transport`
+// (tcp_transport.h: real sockets over loopback, one process per replica).
+// Both cross proto::encode/decode so the codec is exercised either way.
+//
+// Delivery contract shared by every implementation:
+//   * messages may be dropped, duplicated, or reordered (UDP spirit — the
+//     protocol's retransmission machinery owns reliability);
+//   * handlers run on a transport-owned thread, never on the sender's;
+//   * a process that is not attached (crashed) silently loses its traffic,
+//     like a dead socket;
+//   * send/broadcast never block on delivery and are safe from any thread.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +35,24 @@
 
 namespace remus::runtime {
 
+class transport {
+ public:
+  using handler = std::function<void(const proto::message&)>;
+
+  virtual ~transport() = default;
+
+  /// Attach a receiver; messages are dispatched on a transport-owned thread.
+  virtual void attach(process_id p, handler h) = 0;
+  /// Detach (crash): subsequent traffic to p is dropped.
+  virtual void detach(process_id p) = 0;
+
+  virtual void send(process_id to, const proto::message& m) = 0;
+  virtual void broadcast(std::uint32_t n, const proto::message& m) = 0;
+
+  [[nodiscard]] virtual std::uint64_t datagrams_sent() const = 0;
+  [[nodiscard]] virtual std::uint64_t datagrams_dropped() const = 0;
+};
+
 struct transport_options {
   /// Fixed one-way delay plus uniform jitter, in nanoseconds of wall time.
   time_ns base_delay = 0;
@@ -31,26 +61,25 @@ struct transport_options {
   double duplicate_probability = 0.0;
 };
 
-class transport {
+/// In-process datagram transport: unreliable, unordered, connectionless.
+/// A scheduler thread applies configurable delay and jitter; drops and
+/// duplicates are coin flips on a seeded rng.
+class datagram_transport final : public transport {
  public:
-  using handler = std::function<void(const proto::message&)>;
+  explicit datagram_transport(transport_options opt = {}, std::uint64_t seed = 1);
+  ~datagram_transport() override;
 
-  explicit transport(transport_options opt = {}, std::uint64_t seed = 1);
-  ~transport();
+  datagram_transport(const datagram_transport&) = delete;
+  datagram_transport& operator=(const datagram_transport&) = delete;
 
-  transport(const transport&) = delete;
-  transport& operator=(const transport&) = delete;
+  void attach(process_id p, handler h) override;
+  void detach(process_id p) override;
 
-  /// Attach a receiver; messages are dispatched on the scheduler thread.
-  void attach(process_id p, handler h);
-  /// Detach (crash): subsequent traffic to p is dropped.
-  void detach(process_id p);
+  void send(process_id to, const proto::message& m) override;
+  void broadcast(std::uint32_t n, const proto::message& m) override;
 
-  void send(process_id to, const proto::message& m);
-  void broadcast(std::uint32_t n, const proto::message& m);
-
-  [[nodiscard]] std::uint64_t datagrams_sent() const;
-  [[nodiscard]] std::uint64_t datagrams_dropped() const;
+  [[nodiscard]] std::uint64_t datagrams_sent() const override;
+  [[nodiscard]] std::uint64_t datagrams_dropped() const override;
 
  private:
   struct packet {

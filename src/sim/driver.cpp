@@ -1,0 +1,102 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+
+namespace remus::sim {
+
+void sequential_driver::run_indexed(std::uint32_t count,
+                                    const std::function<void(std::uint32_t)>& fn) {
+  for (std::uint32_t i = 0; i < count; ++i) fn(i);
+}
+
+threaded_driver::threaded_driver(std::uint32_t workers)
+    : workers_(std::max<std::uint32_t>(workers, 2)) {
+  threads_.reserve(workers_ - 1);
+  for (std::uint32_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+threaded_driver::~threaded_driver() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void threaded_driver::work() {
+  // Claim-loop: one index at a time under the lock, fn outside it. Shards
+  // are coarse units (a whole event-queue chunk each), so the lock is cold.
+  std::unique_lock lk(mu_);
+  while (next_ < count_) {
+    const std::uint32_t i = next_++;
+    const auto* fn = fn_;
+    ++inflight_;
+    lk.unlock();
+    try {
+      (*fn)(i);
+    } catch (...) {
+      lk.lock();
+      if (!error_) error_ = std::current_exception();
+      --inflight_;
+      continue;
+    }
+    lk.lock();
+    --inflight_;
+  }
+}
+
+void threaded_driver::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+    }
+    work();
+    {
+      std::lock_guard lk(mu_);
+      if (next_ >= count_ && inflight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void threaded_driver::run_indexed(std::uint32_t count,
+                                  const std::function<void(std::uint32_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);  // nothing to parallelize; skip the round-trip
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    count_ = count;
+    fn_ = &fn;
+    next_ = 0;
+    inflight_ = 0;
+    error_ = nullptr;
+    ++round_;
+  }
+  start_cv_.notify_all();
+  work();  // the caller is a worker too
+  std::unique_lock lk(mu_);
+  done_cv_.wait(lk, [&] { return next_ >= count_ && inflight_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::unique_ptr<shard_driver> make_shard_driver(std::uint32_t workers) {
+  if (workers <= 1) return std::make_unique<sequential_driver>();
+  return std::make_unique<threaded_driver>(workers);
+}
+
+}  // namespace remus::sim

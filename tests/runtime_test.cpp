@@ -25,7 +25,7 @@ service_options fast_options(proto::protocol_policy pol, std::uint32_t n = 3) {
 }
 
 TEST(Transport, DeliversToAttachedHandlers) {
-  transport t;
+  datagram_transport t;
   std::atomic<int> got{0};
   t.attach(process_id{0}, [&](const proto::message&) { got += 1; });
   proto::message m;
@@ -42,7 +42,7 @@ TEST(Transport, DeliversToAttachedHandlers) {
 }
 
 TEST(Transport, DetachedNodeLosesTraffic) {
-  transport t;
+  datagram_transport t;
   std::atomic<int> got{0};
   t.attach(process_id{0}, [&](const proto::message&) { got += 1; });
   t.detach(process_id{0});
